@@ -1,0 +1,52 @@
+"""Shared helpers for the figure/table benchmarks.
+
+Every bench regenerates one table or figure from the paper's
+evaluation at reduced scale (see DESIGN.md §5 for the index).  Results
+are printed and also written to ``benchmarks/results/<name>.txt`` so
+the regenerated rows/series survive pytest's output capture.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Scaled run lengths: 100%-utilization arms need more operations to reach
+GC steady state (the paper runs 60 hours; we run a couple of device
+wraps), so benches size ``num_ops`` by utilization via :func:`ops_for`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+# Operations per arm: enough wraps of the scaled device for interval
+# DLWA to converge (validated in EXPERIMENTS.md).
+BASE_OPS = 700_000
+FULL_UTIL_OPS = 1_400_000
+
+
+def ops_for(utilization: float) -> int:
+    """Run length needed for steady state at a given utilization."""
+    return FULL_UTIL_OPS if utilization >= 0.95 else BASE_OPS
+
+
+def emit_table(name: str, lines: Iterable[str]) -> None:
+    """Print a regenerated table and persist it under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = "\n".join(lines)
+    print(f"\n=== {name} ===\n{text}\n")
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the measured callable exactly once (simulations are long)."""
+
+    def runner(func):
+        return benchmark.pedantic(func, rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Carbon planning for a flash-cache fleet (paper Sections 4.2 and 6.6).
+
+Uses the paper's analytical models to answer a deployment question
+without running a single experiment: *what do different SOC sizes and
+device utilizations cost in embodied carbon at fleet scale?*
+
+* Theorem 1 predicts DLWA from the SOC-to-spare-space ratio
+  (Lambert-W model, Appendix A).
+* Theorem 2 converts DLWA into embodied CO2e over a 5-year lifecycle
+  at 0.16 KgCO2e per GB of SSD manufactured.
+
+The numbers below use the PAPER'S device scale (1.88 TB PM9D3-class),
+not the simulator's, because the model is analytical — this is the
+kind of what-if a capacity planner would run.
+
+Run:  python examples/carbon_planning.py
+"""
+
+from repro.model import (
+    CarbonParams,
+    dlwa_fdp,
+    embodied_co2e_kg,
+    soc_physical_space,
+)
+
+TB = 1e12
+DEVICE_PHYSICAL = 1.88 * TB * 1.07  # advertised + 7% device OP
+DEVICE_LOGICAL = 1.88 * TB
+FLEET_DEVICES = 1000 * 100  # 1000 clusters x 100 nodes (paper: "1000s")
+
+
+def main() -> None:
+    params = CarbonParams()
+    print(
+        "Embodied CO2e per device over a 5-year lifecycle "
+        "(1.88 TB FDP SSD, Theorems 1+2)\n"
+    )
+    print(
+        f"{'util':>5} {'SOC%':>5} {'model DLWA':>11} "
+        f"{'CO2e/device (Kg)':>17} {'fleet CO2e (t)':>15}"
+    )
+    for utilization in (0.5, 1.0):
+        cache_bytes = DEVICE_LOGICAL * utilization
+        for soc_fraction in (0.04, 0.16, 0.32, 0.64):
+            soc_bytes = cache_bytes * soc_fraction
+            s_psoc = soc_physical_space(
+                soc_bytes, DEVICE_PHYSICAL, DEVICE_LOGICAL
+            )
+            dlwa = dlwa_fdp(soc_bytes, s_psoc)
+            per_device = embodied_co2e_kg(dlwa, DEVICE_LOGICAL, params)
+            fleet_tonnes = per_device * FLEET_DEVICES / 1000
+            print(
+                f"{utilization:>5.0%} {soc_fraction:>5.0%} {dlwa:>11.2f} "
+                f"{per_device:>17.1f} {fleet_tonnes:>15,.0f}"
+            )
+    print(
+        "\nReading the table: while the SOC fits inside device "
+        "overprovisioning (4% SOC), DLWA stays ~1 even at 100% "
+        "utilization — the FDP deployment doubles usable capacity at "
+        "no embodied-carbon premium.  Growing the SOC past the OP size "
+        "burns devices (and carbon) super-linearly, which is why the "
+        "paper keeps the SOC small and lets invalidation density do "
+        "the work (Insight 3)."
+    )
+
+
+if __name__ == "__main__":
+    main()

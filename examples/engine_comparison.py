@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Comparing small-object engines and placement interfaces.
+
+Two of the paper's positioning claims, made runnable:
+
+1. *Complementary to Kangaroo* (§7.2): swapping CacheLib's
+   set-associative SOC for a Kangaroo-style log+sets engine cuts
+   application-level write amplification, while FDP segregation cuts
+   device-level write amplification — independently and together.
+2. *FDP vs ZNS* (Table 1): for update-in-place data, ZNS moves garbage
+   collection into the host instead of eliminating it; FDP keeps the
+   random-write programming model.
+
+Run:  python examples/engine_comparison.py
+"""
+
+import random
+
+from repro.bench import CacheBench, make_trace
+from repro.cache import CacheConfig, HybridCache
+from repro.fdp import PlacementIdentifier
+from repro.ssd import Geometry, SimulatedSSD, ZnsHostLog, ZonedSSD
+
+GEOMETRY = Geometry(pages_per_block=32, num_superblocks=256)
+
+
+def engine_comparison() -> None:
+    print("1) Small-object engine comparison (both on FDP devices)\n")
+    nvm_bytes = int(GEOMETRY.logical_bytes * 0.95)
+    for engine in ("set-associative", "kangaroo"):
+        device = SimulatedSSD(GEOMETRY, fdp=True)
+        config = CacheConfig.for_flash_cache(
+            nvm_bytes,
+            soc_fraction=0.04,
+            region_bytes=128 * 1024,
+            soc_engine=engine,
+        )
+        cache = HybridCache(device, config)
+        trace = make_trace("twitter", nvm_bytes, num_ops=250_000)
+        result = CacheBench().run(cache, trace, name=engine)
+        extra = ""
+        if engine == "kangaroo":
+            extra = (
+                f"  (moved {cache.soc.moved_items}, "
+                f"dropped {cache.soc.dropped_items} staged items)"
+            )
+        print(
+            f"  {engine:>16}: ALWA {result.alwa:.2f}, "
+            f"DLWA {result.steady_dlwa:.2f}, hit {result.hit_ratio:.1%}"
+            f"{extra}"
+        )
+    print(
+        "\n  The log front amortizes bucket rewrites: lower ALWA at the "
+        "same DLWA — the two optimizations compose.\n"
+    )
+
+
+def zns_comparison() -> None:
+    print("2) FDP vs ZNS for update-in-place data (Table 1 trade)\n")
+    updates = 4 * GEOMETRY.logical_pages
+    span = int(GEOMETRY.logical_pages * 0.6)
+
+    fdp = SimulatedSSD(GEOMETRY, fdp=True)
+    rng = random.Random(9)
+    for _ in range(updates):
+        fdp.write(rng.randrange(span), pid=PlacementIdentifier(0, 1))
+
+    zns = ZonedSSD(GEOMETRY)
+    log = ZnsHostLog(zns, reserve_zones=3)
+    rng = random.Random(9)
+    for _ in range(updates):
+        log.put(rng.randrange(span))
+
+    print(f"  FDP : host WAF 1.00, device DLWA {fdp.dlwa:.2f}")
+    print(
+        f"  ZNS : host WAF {log.host_waf:.2f}, device DLWA {zns.dlwa:.2f}"
+    )
+    print(
+        "\n  Total NAND traffic is comparable — ZNS just relocates the "
+        "GC into host software, the engineering cost FDP avoids."
+    )
+
+
+def main() -> None:
+    engine_comparison()
+    zns_comparison()
+
+
+if __name__ == "__main__":
+    main()

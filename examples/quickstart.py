@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's headline experiment in ~40 lines.
+
+Builds a scaled-down FDP SSD and a CacheLib-style hybrid cache, replays
+the synthetic Meta KV Cache workload on both arms (FDP segregation on /
+off), and prints the device-level write amplification each arm reached
+— the paper's Figure 5 in miniature.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.bench import run_experiment
+
+NUM_OPS = 400_000  # keep the demo under a minute
+
+
+def main() -> None:
+    print("Replaying the KV Cache workload at 100% device utilization...\n")
+    results = {}
+    for fdp in (False, True):
+        arm = "FDP" if fdp else "Non-FDP"
+        results[fdp] = run_experiment(
+            "kvcache",
+            fdp=fdp,
+            utilization=1.0,
+            num_ops=NUM_OPS,
+            name=f"quickstart {arm}",
+        )
+        print(results[fdp].summary_row())
+
+    non, fdp = results[False], results[True]
+    print(
+        f"\nSOC/LOC segregation via FDP reclaim unit handles cut DLWA "
+        f"from {non.steady_dlwa:.2f} to {fdp.steady_dlwa:.2f} "
+        f"({non.steady_dlwa / fdp.steady_dlwa:.1f}x) with identical hit "
+        f"ratios ({non.hit_ratio:.1%} vs {fdp.hit_ratio:.1%}) — the "
+        f"paper's core result."
+    )
+    print(
+        f"GC relocation events: {non.gc_relocation_events} -> "
+        f"{fdp.gc_relocation_events}"
+    )
+
+
+if __name__ == "__main__":
+    main()

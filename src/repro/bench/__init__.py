@@ -1,0 +1,22 @@
+"""CacheBench-style experiment harness: trace replayer, metrics, and
+the scaled experiment builders every figure/table bench uses."""
+
+from .driver import CacheBench, ReplayConfig
+from .metrics import IntervalPoint, LatencyReservoir, RunResult
+from .plotting import ascii_chart, dlwa_timeline_chart
+from .runner import DEFAULT_SCALE, Scale, build_experiment, make_trace, run_experiment
+
+__all__ = [
+    "CacheBench",
+    "ReplayConfig",
+    "IntervalPoint",
+    "LatencyReservoir",
+    "RunResult",
+    "ascii_chart",
+    "dlwa_timeline_chart",
+    "Scale",
+    "DEFAULT_SCALE",
+    "build_experiment",
+    "make_trace",
+    "run_experiment",
+]

@@ -1,0 +1,158 @@
+"""CacheBench-style trace replayer.
+
+Drives a :class:`~repro.cache.hybrid.HybridCache` with a
+:class:`~repro.workloads.trace.Trace`, closed-loop, while collecting
+the paper's metrics:
+
+* a simulated clock advances with each op's completion plus a host
+  think time, so throughput and tail latency reflect device
+  interference (GC bursts push the device busy horizon forward and
+  subsequent flash reads queue behind it);
+* a bounded device backlog models the finite buffering in front of the
+  SSD — without it, asynchronous LOC flushes could run the device
+  arbitrarily far ahead of the host clock;
+* DLWA is polled on an op interval by differencing device counters,
+  the same way the paper polls ``nvme get-log`` every 10 minutes;
+* GETs that miss are optionally *filled* (read-through), which is how
+  trace replay produces cache insertions for read-dominant workloads.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, List, Optional
+
+from ..cache.hybrid import HIT_DRAM, MISS, HybridCache
+from ..workloads.trace import OP_DEL, OP_GET, OP_SET, Trace
+from .metrics import IntervalPoint, LatencyReservoir, RunResult, steady_state_dlwa
+
+__all__ = ["CacheBench", "ReplayConfig"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ReplayConfig:
+    """Replay knobs.
+
+    ``think_ns`` is host-side per-op cost; ``max_backlog_ns`` bounds
+    how far the device timeline may run ahead of the host clock
+    (bounded queueing); ``poll_interval_ops`` is the DLWA sampling
+    cadence.
+    """
+
+    fill_on_miss: bool = True
+    think_ns: int = 100_000
+    max_backlog_ns: int = 30_000_000
+    poll_interval_ops: int = 50_000
+
+    def __post_init__(self) -> None:
+        if self.think_ns < 0:
+            raise ValueError("think_ns must be non-negative")
+        if self.max_backlog_ns < 0:
+            raise ValueError("max_backlog_ns must be non-negative")
+        if self.poll_interval_ops <= 0:
+            raise ValueError("poll_interval_ops must be positive")
+
+
+class CacheBench:
+    """Replays traces against a hybrid cache and reports RunResults."""
+
+    def __init__(self, config: Optional[ReplayConfig] = None) -> None:
+        self.config = config or ReplayConfig()
+
+    def run(
+        self,
+        cache: HybridCache,
+        trace: Trace,
+        *,
+        name: Optional[str] = None,
+        progress: Optional[Callable[[int, int], None]] = None,
+    ) -> RunResult:
+        """Replay ``trace`` and return the collected metrics."""
+        cfg = self.config
+        device = cache.device
+        page = device.page_size
+
+        read_lat = LatencyReservoir()
+        write_lat = LatencyReservoir()
+        series: List[IntervalPoint] = []
+        prev_snapshot = device.snapshot()
+
+        now = 0
+        ops_done = 0
+        ftl_latency = device.ftl.latency
+
+        ops_arr = trace.ops
+        keys_arr = trace.keys
+        sizes_arr = trace.sizes
+        total = len(trace)
+        fill = cfg.fill_on_miss
+        think = cfg.think_ns
+        backlog_cap = cfg.max_backlog_ns
+        poll_every = cfg.poll_interval_ops
+
+        for i in range(total):
+            op = ops_arr[i]
+            key = int(keys_arr[i])
+            if op == OP_GET:
+                result = cache.get(key, now)
+                done = result.completion_ns
+                if result.where not in (HIT_DRAM,):
+                    # Reached flash (hit or full miss): a read latency.
+                    read_lat.add(max(0, done - now))
+                if result.where == MISS and fill:
+                    done = cache.set(key, int(sizes_arr[i]), done)
+            elif op == OP_SET:
+                done = cache.set(key, int(sizes_arr[i]), now)
+                write_lat.add(max(0, done - now))
+            else:  # OP_DEL
+                done = cache.delete(key, now)
+
+            now = done + think
+            # Bounded device backlog: stall the host while the device
+            # is too far behind (finite queue in front of the SSD).
+            backlog = ftl_latency.busy_until - now
+            if backlog > backlog_cap:
+                now = ftl_latency.busy_until - backlog_cap
+
+            ops_done += 1
+            if ops_done % poll_every == 0:
+                snap = device.snapshot()
+                series.append(
+                    IntervalPoint(
+                        ops=ops_done,
+                        host_gib_written=(
+                            snap.host_pages_written * page / 1024**3
+                        ),
+                        interval_dlwa=snap.interval_dlwa(prev_snapshot),
+                        cumulative_dlwa=snap.dlwa,
+                    )
+                )
+                prev_snapshot = snap
+                if progress is not None:
+                    progress(ops_done, total)
+
+        stats = device.stats
+        steady = steady_state_dlwa(series)
+        return RunResult(
+            name=name or trace.name,
+            fdp=cache.device.fdp_enabled and cache.io.allocator.placement_enabled,
+            ops=ops_done,
+            sim_seconds=now / 1e9,
+            hit_ratio=cache.hit_ratio,
+            dram_hit_ratio=cache.dram.hit_ratio,
+            nvm_hit_ratio=cache.nvm_hit_ratio,
+            alwa=cache.alwa,
+            dlwa=stats.dlwa,
+            steady_dlwa=steady if steady is not None else stats.dlwa,
+            interval_series=series,
+            gc_relocation_events=device.events.media_relocated_events,
+            gc_relocated_pages=device.events.media_relocated_pages,
+            gc_victims=stats.gc_victim_selections,
+            host_pages_written=stats.host_pages_written,
+            nand_pages_written=stats.nand_pages_written,
+            energy_kwh=device.energy_kwh(now),
+            p50_read_us=read_lat.p50_us(),
+            p99_read_us=read_lat.p99_us(),
+            p50_write_us=write_lat.p50_us(),
+            p99_write_us=write_lat.p99_us(),
+        )

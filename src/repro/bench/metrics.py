@@ -1,0 +1,133 @@
+"""Run metrics: latency quantiles, interval DLWA series, run results.
+
+The driver collects exactly the quantities the paper reports per
+experiment: throughput, overall/DRAM/NVM hit ratios, ALWA, cumulative
+and interval DLWA (the latter is what Figures 5/7/8/11 plot), p99
+read/write latency, GC activity, and operational energy.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["LatencyReservoir", "IntervalPoint", "RunResult"]
+
+
+class LatencyReservoir:
+    """Bounded latency sample that decimates itself when full.
+
+    Keeps at most ``capacity`` samples; on overflow every second sample
+    is dropped and the acceptance stride doubles, so the reservoir
+    stays a uniform subsample of the stream — adequate for p50-p99
+    estimation over millions of ops without unbounded memory.
+    """
+
+    def __init__(self, capacity: int = 131072) -> None:
+        if capacity < 2:
+            raise ValueError("capacity must be at least 2")
+        self.capacity = capacity
+        self._samples: List[int] = []
+        self._stride = 1
+        self._seen = 0
+
+    def add(self, latency_ns: int) -> None:
+        self._seen += 1
+        if self._seen % self._stride:
+            return
+        self._samples.append(latency_ns)
+        if len(self._samples) >= self.capacity:
+            self._samples = self._samples[::2]
+            self._stride *= 2
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def count_seen(self) -> int:
+        return self._seen
+
+    def percentile(self, p: float) -> float:
+        """Latency percentile in nanoseconds (0 when empty)."""
+        if not self._samples:
+            return 0.0
+        return float(np.percentile(np.array(self._samples), p))
+
+    def p99_us(self) -> float:
+        return self.percentile(99.0) / 1000.0
+
+    def p50_us(self) -> float:
+        return self.percentile(50.0) / 1000.0
+
+
+@dataclasses.dataclass(frozen=True)
+class IntervalPoint:
+    """One DLWA poll (the paper polls every 10 minutes via nvme-cli)."""
+
+    ops: int
+    host_gib_written: float
+    interval_dlwa: float
+    cumulative_dlwa: float
+
+
+@dataclasses.dataclass
+class RunResult:
+    """Everything one experiment arm produced."""
+
+    name: str
+    fdp: bool
+    ops: int
+    sim_seconds: float
+    # cache metrics
+    hit_ratio: float
+    dram_hit_ratio: float
+    nvm_hit_ratio: float
+    alwa: float
+    # device metrics
+    dlwa: float
+    steady_dlwa: float
+    interval_series: List[IntervalPoint]
+    gc_relocation_events: int
+    gc_relocated_pages: int
+    gc_victims: int
+    host_pages_written: int
+    nand_pages_written: int
+    energy_kwh: float
+    # latency metrics (microseconds)
+    p50_read_us: float
+    p99_read_us: float
+    p50_write_us: float
+    p99_write_us: float
+
+    @property
+    def throughput_kops(self) -> float:
+        """Simulated throughput in thousands of ops per second."""
+        if self.sim_seconds <= 0:
+            return 0.0
+        return self.ops / self.sim_seconds / 1000.0
+
+    @property
+    def kgets_per_sec(self) -> float:
+        """Alias used by Table 2 (KGET/s); ops-level throughput."""
+        return self.throughput_kops
+
+    def summary_row(self) -> str:
+        """One printable row, paper-style."""
+        return (
+            f"{self.name:<28} fdp={str(self.fdp):<5} "
+            f"DLWA={self.dlwa:5.2f} (steady {self.steady_dlwa:5.2f}) "
+            f"hit={self.hit_ratio * 100:5.1f}% nvm_hit={self.nvm_hit_ratio * 100:5.1f}% "
+            f"ALWA={self.alwa:4.2f} kops={self.throughput_kops:7.1f} "
+            f"p99r={self.p99_read_us:7.0f}us p99w={self.p99_write_us:7.0f}us "
+            f"GCreloc={self.gc_relocation_events}"
+        )
+
+
+def steady_state_dlwa(series: Sequence[IntervalPoint]) -> Optional[float]:
+    """Mean interval DLWA over the last half of the run (post warm-up)."""
+    if not series:
+        return None
+    tail = series[len(series) // 2 :]
+    return float(np.mean([p.interval_dlwa for p in tail]))

@@ -1,0 +1,94 @@
+"""Terminal plotting for regenerated figures.
+
+The paper's timeline figures (5, 7, 8, 11) plot interval DLWA against
+host writes.  Since the benches run headless, this module renders the
+same series as ASCII line charts so the regenerated figure is readable
+directly in the bench output and in ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["ascii_chart", "dlwa_timeline_chart"]
+
+_MARKERS = "*o+x#@"
+
+
+def ascii_chart(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    *,
+    width: int = 64,
+    height: int = 16,
+    y_label: str = "",
+) -> str:
+    """Render one or more (x, y) series as an ASCII chart.
+
+    Each series gets a marker from ``*o+x#@`` in insertion order; the
+    y-axis is annotated with min/max, and a legend follows the canvas.
+    """
+    if not series:
+        raise ValueError("no series to plot")
+    if width < 8 or height < 4:
+        raise ValueError("canvas too small")
+    points = [p for pts in series.values() for p in pts]
+    if not points:
+        raise ValueError("series contain no points")
+
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    for (label, pts), marker in zip(series.items(), _MARKERS):
+        for x, y in pts:
+            col = int((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - int((y - y_lo) / y_span * (height - 1))
+            grid[row][col] = marker
+
+    top_label = f"{y_hi:.2f}"
+    bottom_label = f"{y_lo:.2f}"
+    gutter = max(len(top_label), len(bottom_label)) + 1
+    lines = []
+    for i, row in enumerate(grid):
+        if i == 0:
+            prefix = top_label.rjust(gutter)
+        elif i == height - 1:
+            prefix = bottom_label.rjust(gutter)
+        else:
+            prefix = " " * gutter
+        lines.append(f"{prefix}|{''.join(row)}")
+    lines.append(" " * gutter + "+" + "-" * width)
+    legend = "  ".join(
+        f"{marker}={label}"
+        for (label, _), marker in zip(series.items(), _MARKERS)
+    )
+    if y_label:
+        legend = f"{y_label}: {legend}"
+    lines.append(" " * (gutter + 1) + legend)
+    return "\n".join(lines)
+
+
+def dlwa_timeline_chart(
+    series_by_arm: Dict[str, Sequence],
+    *,
+    width: int = 64,
+    height: int = 14,
+) -> str:
+    """Chart interval DLWA vs. ops for one or more experiment arms.
+
+    Accepts the ``interval_series`` lists of
+    :class:`~repro.bench.metrics.RunResult` keyed by arm name.
+    """
+    return ascii_chart(
+        {
+            arm: [(p.ops, p.interval_dlwa) for p in points]
+            for arm, points in series_by_arm.items()
+        },
+        width=width,
+        height=height,
+        y_label="interval DLWA",
+    )

@@ -1,0 +1,163 @@
+"""Experiment setup builders shared by all benchmarks and examples.
+
+The paper's testbed (1.88 TB PM9D3, 60-hour runs) is scaled down so a
+full experiment arm completes in seconds while preserving the ratios
+that govern DLWA (see DESIGN.md §1): device overprovisioning fraction,
+SOC fraction of the flash cache, DRAM:flash ratio, utilization, and
+the working-set-to-cache ratio.
+
+Every figure/table bench builds its arms through
+:func:`build_experiment` / :func:`run_experiment` so the scaled
+constants live in exactly one place.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+from ..cache.config import CacheConfig
+from ..cache.hybrid import HybridCache
+from ..ssd.device import SimulatedSSD
+from ..ssd.geometry import Geometry
+from ..workloads.kvcache import kv_cache_trace, wo_kv_cache_trace
+from ..workloads.trace import Trace
+from ..workloads.twitter import twitter_cluster12_trace
+from .driver import CacheBench, ReplayConfig
+from .metrics import RunResult
+
+__all__ = ["Scale", "DEFAULT_SCALE", "build_experiment", "run_experiment"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Scale:
+    """Scaled-down stand-ins for the paper's testbed constants."""
+
+    page_size: int = 4096
+    pages_per_block: int = 32  # 2 dies x 2 planes -> 128-page superblock
+    num_superblocks: int = 512  # 256 MiB physical
+    device_op_fraction: float = 0.07
+    region_bytes: int = 128 * 1024
+    soc_fraction: float = 0.04  # paper default SOC size
+    dram_fraction: float = 0.045  # paper: ~42 GB DRAM : 930 GB flash
+    working_set_factor: float = 1.3  # working set vs. flash cache size
+    mean_object_bytes: int = 3200  # derived from the size mixture
+    num_ops: int = 1_000_000
+
+    def geometry(self) -> Geometry:
+        return Geometry(
+            page_size=self.page_size,
+            pages_per_block=self.pages_per_block,
+            planes_per_die=2,
+            dies=2,
+            num_superblocks=self.num_superblocks,
+            op_fraction=self.device_op_fraction,
+        )
+
+
+DEFAULT_SCALE = Scale()
+
+_WORKLOADS = {
+    "kvcache": kv_cache_trace,
+    "wo-kvcache": wo_kv_cache_trace,
+    "twitter": twitter_cluster12_trace,
+}
+
+
+def make_trace(
+    workload: str,
+    nvm_bytes: int,
+    scale: Scale = DEFAULT_SCALE,
+    *,
+    num_ops: Optional[int] = None,
+    seed: int = 42,
+) -> Trace:
+    """Build a scaled trace whose working set matches the cache size."""
+    try:
+        generator = _WORKLOADS[workload]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {workload!r}; choose from {sorted(_WORKLOADS)}"
+        ) from None
+    num_keys = max(
+        1024,
+        int(nvm_bytes * scale.working_set_factor / scale.mean_object_bytes),
+    )
+    return generator(num_ops or scale.num_ops, num_keys, seed=seed)
+
+
+def build_experiment(
+    *,
+    fdp: bool,
+    utilization: float = 0.5,
+    soc_fraction: Optional[float] = None,
+    dram_bytes: Optional[int] = None,
+    scale: Scale = DEFAULT_SCALE,
+    cache_overrides: Optional[Dict[str, object]] = None,
+) -> HybridCache:
+    """Create a device + hybrid cache pair for one experiment arm.
+
+    ``fdp`` switches both sides at once, as the paper does with
+    nvme-cli: device FDP support *and* CacheLib placement.
+    ``utilization`` is the fraction of the device's advertised capacity
+    given to the flash cache (Figure 6's sweep variable).
+    """
+    if not 0.0 < utilization <= 1.0:
+        raise ValueError("utilization must be in (0, 1]")
+    geometry = scale.geometry()
+    device = SimulatedSSD(geometry, fdp=fdp)
+    # Reserve the metadata slice out of the cache's share so a
+    # 100%-utilization layout still fits the advertised capacity.
+    meta_pages = CacheConfig.__dataclass_fields__["metadata_pages"].default
+    nvm_bytes = (
+        int(geometry.logical_bytes * utilization)
+        - meta_pages * geometry.page_size
+    )
+    config = CacheConfig.for_flash_cache(
+        nvm_bytes,
+        page_size=geometry.page_size,
+        soc_fraction=(
+            soc_fraction if soc_fraction is not None else scale.soc_fraction
+        ),
+        dram_fraction=scale.dram_fraction,
+        dram_bytes=dram_bytes,
+        region_bytes=scale.region_bytes,
+        enable_fdp_placement=fdp,
+    )
+    return HybridCache(device, config)
+
+
+def run_experiment(
+    workload: str,
+    *,
+    fdp: bool,
+    utilization: float = 0.5,
+    soc_fraction: Optional[float] = None,
+    dram_bytes: Optional[int] = None,
+    num_ops: Optional[int] = None,
+    scale: Scale = DEFAULT_SCALE,
+    seed: int = 42,
+    replay: Optional[ReplayConfig] = None,
+    name: Optional[str] = None,
+) -> RunResult:
+    """Build one arm (device, cache, trace) and replay it."""
+    cache = build_experiment(
+        fdp=fdp,
+        utilization=utilization,
+        soc_fraction=soc_fraction,
+        dram_bytes=dram_bytes,
+        scale=scale,
+    )
+    trace = make_trace(
+        workload,
+        cache.config.nvm_bytes,
+        scale,
+        num_ops=num_ops,
+        seed=seed,
+    )
+    bench = CacheBench(replay)
+    label = name or (
+        f"{workload} util={utilization:.0%} "
+        f"{'FDP' if fdp else 'Non-FDP'}"
+    )
+    return bench.run(cache, trace, name=label)

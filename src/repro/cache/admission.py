@@ -1,0 +1,123 @@
+"""Flash admission policies.
+
+Production flash caches throttle what gets admitted to flash to stretch
+device endurance (Section 2.3 mentions threshold admission as the
+common control alongside host overprovisioning).  The hybrid cache
+consults one of these policies for every DRAM eviction before writing
+to flash.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+
+from .item import CacheItem
+
+__all__ = [
+    "AdmissionPolicy",
+    "AcceptAll",
+    "ProbabilisticAdmission",
+    "DynamicRandomAdmission",
+    "SizeThresholdAdmission",
+]
+
+
+class AdmissionPolicy(abc.ABC):
+    """Decides whether an evicted item may be written to flash."""
+
+    def __init__(self) -> None:
+        self.offered = 0
+        self.admitted = 0
+
+    def admit(self, item: CacheItem) -> bool:
+        """Record the decision for ``item`` and return it."""
+        self.offered += 1
+        decision = self._decide(item)
+        if decision:
+            self.admitted += 1
+        return decision
+
+    @abc.abstractmethod
+    def _decide(self, item: CacheItem) -> bool:
+        """Policy-specific decision."""
+
+    @property
+    def admit_ratio(self) -> float:
+        return self.admitted / self.offered if self.offered else 1.0
+
+
+class AcceptAll(AdmissionPolicy):
+    """Admit everything (the default in the paper's experiments)."""
+
+    def _decide(self, item: CacheItem) -> bool:
+        return True
+
+
+class ProbabilisticAdmission(AdmissionPolicy):
+    """Admit a fixed fraction of offered items, size-independent."""
+
+    def __init__(self, probability: float, seed: int = 0xADA1) -> None:
+        super().__init__()
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        self.probability = probability
+        self._rng = random.Random(seed)
+
+    def _decide(self, item: CacheItem) -> bool:
+        return self._rng.random() < self.probability
+
+
+class DynamicRandomAdmission(AdmissionPolicy):
+    """CacheLib's DynamicRandomAP-style write-budget controller.
+
+    Tracks bytes offered vs. a byte budget accrued per offered
+    operation and adapts the acceptance probability so that admitted
+    bytes track the budget.  This is how deployments cap flash write
+    rate when workloads get write-heavy.
+    """
+
+    def __init__(
+        self,
+        budget_bytes_per_op: int,
+        *,
+        adjust_interval: int = 1024,
+        seed: int = 0xADA2,
+    ) -> None:
+        super().__init__()
+        if budget_bytes_per_op <= 0:
+            raise ValueError("budget_bytes_per_op must be positive")
+        if adjust_interval <= 0:
+            raise ValueError("adjust_interval must be positive")
+        self.budget_bytes_per_op = budget_bytes_per_op
+        self.adjust_interval = adjust_interval
+        self.probability = 1.0
+        self._rng = random.Random(seed)
+        self._window_offered_bytes = 0
+        self._window_ops = 0
+
+    def _decide(self, item: CacheItem) -> bool:
+        self._window_offered_bytes += item.size
+        self._window_ops += 1
+        if self._window_ops >= self.adjust_interval:
+            budget = self._window_ops * self.budget_bytes_per_op
+            if self._window_offered_bytes > 0:
+                self.probability = min(
+                    1.0, budget / self._window_offered_bytes
+                )
+            self._window_offered_bytes = 0
+            self._window_ops = 0
+        return self._rng.random() < self.probability
+
+
+class SizeThresholdAdmission(AdmissionPolicy):
+    """Reject items above a size threshold (threshold admission)."""
+
+    def __init__(self, max_size: int) -> None:
+        super().__init__()
+        if max_size <= 0:
+            raise ValueError("max_size must be positive")
+        self.max_size = max_size
+
+    def _decide(self, item: CacheItem) -> bool:
+        return item.size <= self.max_size

@@ -1,0 +1,79 @@
+"""Small per-bucket bloom filters for the SOC.
+
+CacheLib keeps a tiny bloom filter per SOC bucket in DRAM so that
+lookups of absent keys do not pay a flash read.  The reproduction keeps
+the same structure: a fixed-width bit array per bucket, rebuilt on
+every bucket rewrite (cheap — buckets hold tens of items).
+
+Hashing uses ``splitmix64`` over the integer key with per-probe seeds;
+it is deterministic across runs, which the experiments rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+__all__ = ["BloomFilter", "splitmix64"]
+
+_MASK64 = (1 << 64) - 1
+
+
+def splitmix64(x: int) -> int:
+    """One round of the splitmix64 mixer (deterministic, well spread)."""
+    x = (x + 0x9E3779B97F4A7C15) & _MASK64
+    z = x
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return z ^ (z >> 31)
+
+
+class BloomFilter:
+    """Fixed-size bloom filter over integer keys.
+
+    Parameters
+    ----------
+    bits:
+        Filter width; CacheLib-style per-bucket filters are small
+        (default 64 bits ~ 8 bytes per bucket).
+    hashes:
+        Number of probe positions per key.
+    """
+
+    __slots__ = ("bits", "hashes", "_field")
+
+    def __init__(self, bits: int = 64, hashes: int = 4) -> None:
+        if bits <= 0:
+            raise ValueError("bits must be positive")
+        if hashes <= 0:
+            raise ValueError("hashes must be positive")
+        self.bits = bits
+        self.hashes = hashes
+        self._field = 0
+
+    def _positions(self, key: int) -> Iterable[int]:
+        h1 = splitmix64(key)
+        h2 = splitmix64(h1) | 1  # odd step for double hashing
+        for i in range(self.hashes):
+            yield (h1 + i * h2) % self.bits
+
+    def add(self, key: int) -> None:
+        """Insert a key (no false negatives afterwards)."""
+        for pos in self._positions(key):
+            self._field |= 1 << pos
+
+    def may_contain(self, key: int) -> bool:
+        """True if the key *may* be present; False means definitely not."""
+        for pos in self._positions(key):
+            if not (self._field >> pos) & 1:
+                return False
+        return True
+
+    def clear(self) -> None:
+        """Reset to empty."""
+        self._field = 0
+
+    def rebuild(self, keys: Iterable[int]) -> None:
+        """Clear and re-add ``keys`` (bucket rewrite path)."""
+        self._field = 0
+        for key in keys:
+            self.add(key)

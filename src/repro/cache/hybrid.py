@@ -1,0 +1,352 @@
+"""The hybrid DRAM + flash cache (CacheLib-style engine pair).
+
+Wires together the DRAM LRU front, the SOC and LOC flash engines, the
+admission policy, and the placement machinery of :mod:`repro.core`:
+
+* at initialization the SOC and LOC each receive a placement handle
+  from the allocator (Figure 4's placement handle allocator);
+* every flash write is tagged with its engine's handle; with FDP off
+  (either side) the default handle flows through the identical code
+  path — the paper's backward-compatibility requirement;
+* metadata (a minor consumer) is flushed periodically *without* a
+  placement preference, landing on the device's default RUH.
+
+Data path, as in CacheLib: GETs check DRAM, then SOC, then LOC; an NVM
+hit promotes the item into DRAM.  SETs insert into DRAM; DRAM evictions
+flow through the admission policy and are routed by size to SOC or LOC.
+That eviction-driven flash write stream is what creates the two write
+patterns whose intermixing the paper studies.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Tuple
+
+from ..core.device_layer import FdpAwareDevice
+from ..core.placement import PlacementHandle
+from ..core.policies import PlacementPolicy, StaticSegregationPolicy
+from ..ssd.device import SimulatedSSD
+from .config import CacheConfig
+from .dram import DramCache
+from .item import CacheItem
+from .loc import LargeObjectCache
+from .soc import SmallObjectCache
+
+__all__ = ["HybridCache", "GetResult", "HIT_DRAM", "HIT_SOC", "HIT_LOC", "MISS"]
+
+HIT_DRAM = "dram"
+HIT_SOC = "soc"
+HIT_LOC = "loc"
+MISS = "miss"
+
+
+@dataclasses.dataclass(frozen=True)
+class GetResult:
+    """Outcome of one GET."""
+
+    where: str
+    item: Optional[CacheItem]
+    completion_ns: int
+
+    @property
+    def hit(self) -> bool:
+        return self.where != MISS
+
+
+class HybridCache:
+    """A DRAM + SOC + LOC cache instance over a (possibly shared) SSD.
+
+    Parameters
+    ----------
+    device:
+        The simulated SSD.  Ignored when ``io`` is given.
+    config:
+        Deployment shape (sizes, thresholds, FDP switch, ...).
+    io:
+        Optionally a shared :class:`FdpAwareDevice`; multi-tenant
+        deployments (Figure 11) pass the same ``io`` to every tenant so
+        placement handles come from one allocator.
+    policy:
+        Placement policy; defaults to the paper's static SOC/LOC
+        segregation.
+    """
+
+    def __init__(
+        self,
+        device: Optional[SimulatedSSD] = None,
+        config: Optional[CacheConfig] = None,
+        *,
+        io: Optional[FdpAwareDevice] = None,
+        policy: Optional[PlacementPolicy] = None,
+    ) -> None:
+        if config is None:
+            config = CacheConfig()
+        if io is None:
+            if device is None:
+                raise ValueError("need a device or a shared io layer")
+            io = FdpAwareDevice(
+                device, enable_placement=config.enable_fdp_placement
+            )
+        self.config = config
+        self.io = io
+        self.device = io.ssd
+
+        page = self.device.page_size
+        soc_pages = config.soc_bytes // page
+        region_pages = max(1, config.region_bytes // page)
+        loc_pages = config.loc_bytes // page
+        num_regions = loc_pages // region_pages
+        if num_regions < 2:
+            raise ValueError("loc_bytes too small for two regions")
+
+        meta_base = config.base_lba
+        soc_base = meta_base + config.metadata_pages
+        loc_base = soc_base + soc_pages
+        end_lba = loc_base + num_regions * region_pages
+        if end_lba > self.device.capacity_pages:
+            raise ValueError(
+                f"cache layout [{config.base_lba}, {end_lba}) exceeds device "
+                f"capacity {self.device.capacity_pages} pages"
+            )
+        self._layout_end_lba = end_lba
+
+        self.policy: PlacementPolicy = policy or StaticSegregationPolicy()
+        soc_name = f"{config.name}.soc"
+        loc_name = f"{config.name}.loc"
+        consumers = [soc_name, loc_name]
+        if config.soc_engine == "kangaroo":
+            soc_log_name = f"{config.name}.soc-log"
+            consumers = [soc_name, soc_log_name, loc_name]
+        self.policy.setup(io.allocator, consumers)
+        self._soc_name = soc_name
+        self._loc_name = loc_name
+
+        self.dram = DramCache(config.dram_bytes)
+        if config.soc_engine == "kangaroo":
+            from .kangaroo import KangarooCache
+
+            log_pages = max(
+                2, int(soc_pages * config.kangaroo_log_fraction)
+            )
+            self.soc: "SmallObjectCache | KangarooCache" = KangarooCache(
+                io,
+                self.policy.handle_for(soc_log_name),
+                self.policy.handle_for(soc_name),
+                soc_base,
+                log_pages,
+                max(1, soc_pages - log_pages),
+                move_threshold=config.kangaroo_move_threshold,
+            )
+        else:
+            self.soc = SmallObjectCache(
+                io,
+                self.policy.handle_for(soc_name),
+                soc_base,
+                max(1, soc_pages),
+            )
+        self.loc = LargeObjectCache(
+            io,
+            self.policy.handle_for(loc_name),
+            loc_base,
+            num_regions,
+            region_pages,
+            eviction=config.loc_eviction,
+            ru_aware_trim=config.ru_aware_trim,
+        )
+        self._meta_base = meta_base
+        self._meta_counter = 0
+
+        self.gets = 0
+        self.sets = 0
+        self.deletes = 0
+        self.nvm_gets = 0
+        self.hits_by_layer = {HIT_DRAM: 0, HIT_SOC: 0, HIT_LOC: 0}
+        self.app_set_bytes = 0
+        self.flash_admits = 0
+        self.flash_rejects = 0
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+
+    def _soc_handle(self) -> PlacementHandle:
+        return self.policy.handle_for(self._soc_name)
+
+    def _loc_handle(self) -> PlacementHandle:
+        return self.policy.handle_for(self._loc_name)
+
+    def _is_small(self, item: CacheItem) -> bool:
+        return (
+            item.size <= self.config.small_item_threshold
+            and self.soc.accepts(item)
+        )
+
+    def _maybe_flush_metadata(self, now_ns: int) -> int:
+        """Minor consumer: periodic metadata flush on the default RUH."""
+        if self.config.metadata_pages == 0:
+            return now_ns
+        self._meta_counter += 1
+        if self._meta_counter % self.config.metadata_flush_interval:
+            return now_ns
+        page = self._meta_counter // self.config.metadata_flush_interval
+        lba = self._meta_base + (page % self.config.metadata_pages)
+        return self.io.write(lba, 1, self.io.allocator.default(), now_ns)
+
+    def _admit_to_flash(self, item: CacheItem, now_ns: int) -> int:
+        """Run one DRAM eviction through admission + engine routing.
+
+        Keeps the engine's live SOC/LOC write pattern current: SOC
+        inserts are dynamic per-engine tags on the I/O path (Figure 4).
+        """
+        assert self.config.admission is not None
+        small = self._is_small(item)
+        engine = self.soc if small else self.loc
+        if engine.contains(item.key):
+            # A clean copy is already on flash (the item was promoted
+            # from NVM and not modified); skip the rewrite.
+            return now_ns
+        if not self.config.admission.admit(item):
+            self.flash_rejects += 1
+            return now_ns
+        self.flash_admits += 1
+        self.policy.on_write(
+            self._soc_name if small else self._loc_name, item.size
+        )
+        _, done = engine.insert(item, now_ns)
+        done = self._maybe_flush_metadata(done)
+        return done
+
+    def _promote(self, item: CacheItem, now_ns: int) -> int:
+        """Insert an NVM hit into DRAM; spill any DRAM evictions down.
+
+        Promotion (and the flash admissions it cascades into) runs
+        asynchronously in CacheLib, so the returned completion time is
+        only used for the *background* timeline — callers must not add
+        it to the foreground GET latency.
+        """
+        done = now_ns
+        for evicted in self.dram.set(item):
+            if evicted.key != item.key:
+                done = self._admit_to_flash(evicted, done)
+        return done
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def get(self, key: int, now_ns: int = 0) -> GetResult:
+        """Look up a key across DRAM, SOC, and LOC."""
+        self.gets += 1
+        item = self.dram.get(key)
+        if item is not None:
+            self.hits_by_layer[HIT_DRAM] += 1
+            return GetResult(HIT_DRAM, item, now_ns + self.config.dram_op_ns)
+        self.nvm_gets += 1
+        item, done = self.soc.lookup(key, now_ns)
+        if item is not None:
+            self.hits_by_layer[HIT_SOC] += 1
+            self._promote(item, done)  # async: not on the GET's path
+            return GetResult(HIT_SOC, item, done)
+        item, done = self.loc.lookup(key, done)
+        if item is not None:
+            self.hits_by_layer[HIT_LOC] += 1
+            self._promote(item, done)  # async: not on the GET's path
+            return GetResult(HIT_LOC, item, done)
+        return GetResult(MISS, None, done)
+
+    def set(self, key: int, size: int, now_ns: int = 0) -> int:
+        """Insert/overwrite an object; returns completion time."""
+        self.sets += 1
+        self.app_set_bytes += size
+        item = CacheItem(key, size)
+        # A mutation supersedes any flash copy; the clean-copy shortcut
+        # in _admit_to_flash must not suppress the eventual rewrite.
+        self.soc.invalidate(key)
+        self.loc.invalidate(key)
+        done = now_ns + self.config.dram_op_ns
+        for evicted in self.dram.set(item):
+            done = self._admit_to_flash(evicted, done)
+        return done
+
+    def delete(self, key: int, now_ns: int = 0) -> int:
+        """Remove a key from every layer; returns completion time."""
+        self.deletes += 1
+        self.dram.delete(key)
+        _, done = self.soc.delete(key, now_ns)
+        self.loc.delete(key, done)
+        return done
+
+    # ------------------------------------------------------------------
+    # metrics
+    # ------------------------------------------------------------------
+
+    @property
+    def hit_ratio(self) -> float:
+        """Overall GET hit ratio (DRAM + NVM)."""
+        hits = sum(self.hits_by_layer.values())
+        return hits / self.gets if self.gets else 0.0
+
+    @property
+    def nvm_hit_ratio(self) -> float:
+        """Hit ratio of the flash layer among GETs that missed DRAM."""
+        nvm_hits = self.hits_by_layer[HIT_SOC] + self.hits_by_layer[HIT_LOC]
+        return nvm_hits / self.nvm_gets if self.nvm_gets else 0.0
+
+    def stats_dict(self) -> dict:
+        """Full metric snapshot as plain JSON-serializable types.
+
+        The cachebench tool and operators' dashboards consume this; it
+        aggregates the per-engine counters alongside the hybrid-level
+        ratios.
+        """
+        return {
+            "gets": self.gets,
+            "sets": self.sets,
+            "deletes": self.deletes,
+            "hit_ratio": self.hit_ratio,
+            "dram_hit_ratio": self.dram.hit_ratio,
+            "nvm_hit_ratio": self.nvm_hit_ratio,
+            "hits_by_layer": dict(self.hits_by_layer),
+            "alwa": self.alwa,
+            "flash_admits": self.flash_admits,
+            "flash_rejects": self.flash_rejects,
+            "app_set_bytes": self.app_set_bytes,
+            "soc": {
+                "engine": self.config.soc_engine,
+                "items": self.soc.item_count,
+                "inserts": self.soc.inserts,
+                "evictions": self.soc.evictions,
+                "hit_ratio": self.soc.hit_ratio,
+                "bloom_rejects": self.soc.bloom_rejects,
+                "flash_reads": self.soc.flash_reads,
+                "flash_writes": getattr(
+                    self.soc, "total_flash_writes", self.soc.flash_writes
+                ),
+            },
+            "loc": {
+                "items": self.loc.item_count,
+                "inserts": self.loc.inserts,
+                "evicted_regions": self.loc.evicted_regions,
+                "evicted_items": self.loc.evicted_items,
+                "hit_ratio": self.loc.hit_ratio,
+                "flash_reads": self.loc.flash_reads,
+                "flash_writes": self.loc.flash_writes,
+            },
+            "device": {
+                "dlwa": self.device.dlwa,
+                "host_pages_written": self.device.stats.host_pages_written,
+                "nand_pages_written": self.device.stats.nand_pages_written,
+                "gc_relocation_events": (
+                    self.device.events.media_relocated_events
+                ),
+            },
+        }
+
+    @property
+    def alwa(self) -> float:
+        """Application-level write amplification (paper Eq. 2):
+        bytes written to the SSD over bytes the application wrote."""
+        if self.app_set_bytes == 0:
+            return 1.0
+        return self.io.bytes_written / self.app_set_bytes

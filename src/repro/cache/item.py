@@ -1,0 +1,34 @@
+"""Cache item descriptor.
+
+The simulator tracks object *metadata* only (key and size); values are
+never materialized because no reproduced metric depends on the bytes
+themselves — DLWA, hit ratios, ALWA, and latency all derive from which
+pages are written and when.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = ["CacheItem", "ITEM_HEADER_BYTES"]
+
+# Per-item on-flash overhead (key descriptor + small header), matching
+# the order of magnitude CacheLib stores alongside each object.
+ITEM_HEADER_BYTES = 24
+
+
+@dataclasses.dataclass(frozen=True)
+class CacheItem:
+    """An object identified by an integer key with a payload size."""
+
+    key: int
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError("item size must be positive")
+
+    @property
+    def stored_size(self) -> int:
+        """Bytes the item occupies on flash including its header."""
+        return self.size + ITEM_HEADER_BYTES

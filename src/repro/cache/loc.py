@@ -1,0 +1,264 @@
+"""Large Object Cache (LOC): log-structured region cache.
+
+Mirrors CacheLib's LOC (Section 2.3):
+
+* The LOC's flash space is divided into fixed-size *regions* (16 MiB or
+  256 MiB in production; scaled down here).  Inserts append into an
+  in-memory open region; when it fills, the region is flushed to flash
+  as one long sequential write — the "SSD-friendly" pattern that needs
+  no overprovisioning (Insight 2).
+* Eviction is region-granular, FIFO by default (LRU optional): the
+  oldest region's keys are dropped from the in-memory index and the
+  region is recycled, so its LBAs get overwritten sequentially —
+  invalidating the old data in the FTL without any GC help.
+* A DRAM index maps key → region (this is the LOC's DRAM overhead the
+  paper contrasts against the SOC's near-zero tracking cost).
+
+An optional *RU-size-aware eviction* mode implements the paper's
+"lesson learned 1": when recycling, evict enough adjacent regions to
+cover one reclaim unit and TRIM them together, hinting the device that
+the whole RU is dead.  The paper found minimal gains; the ablation
+bench reproduces that comparison.
+"""
+
+from __future__ import annotations
+
+import collections
+from typing import Deque, Dict, List, Optional, Tuple
+
+from ..core.device_layer import FdpAwareDevice
+from ..core.placement import PlacementHandle
+from .item import CacheItem
+
+__all__ = ["LargeObjectCache", "Region", "EVICTION_FIFO", "EVICTION_LRU"]
+
+EVICTION_FIFO = "fifo"
+EVICTION_LRU = "lru"
+
+
+class Region:
+    """One LOC region: a contiguous page-aligned slice of the LOC space."""
+
+    __slots__ = ("region_id", "keys", "used_bytes", "last_access", "sealed")
+
+    def __init__(self, region_id: int) -> None:
+        self.region_id = region_id
+        self.keys: List[int] = []
+        self.used_bytes = 0
+        self.last_access = 0
+        self.sealed = False
+
+    def reset(self) -> None:
+        self.keys.clear()
+        self.used_bytes = 0
+        self.last_access = 0
+        self.sealed = False
+
+
+class LargeObjectCache:
+    """Log-structured region cache over a contiguous LBA range.
+
+    Parameters
+    ----------
+    device, handle, base_lba:
+        As for the SOC: the I/O layer, the placement handle tagging LOC
+        writes, and the first LBA of the LOC slice.
+    num_regions / region_pages:
+        The LOC owns ``num_regions * region_pages`` pages.
+    eviction:
+        ``"fifo"`` (production default for the paper's workloads) or
+        ``"lru"`` by region last-access time.
+    ru_aware_trim:
+        Enable lesson-1 behaviour: TRIM recycled regions so fully dead
+        reclaim units are released without GC.
+    """
+
+    def __init__(
+        self,
+        device: FdpAwareDevice,
+        handle: PlacementHandle,
+        base_lba: int,
+        num_regions: int,
+        region_pages: int,
+        *,
+        eviction: str = EVICTION_FIFO,
+        ru_aware_trim: bool = False,
+    ) -> None:
+        if num_regions < 2:
+            raise ValueError("LOC needs at least 2 regions (1 open + 1 sealed)")
+        if region_pages <= 0:
+            raise ValueError("region_pages must be positive")
+        if eviction not in (EVICTION_FIFO, EVICTION_LRU):
+            raise ValueError(f"unknown eviction policy {eviction!r}")
+        self.device = device
+        self.handle = handle
+        self.base_lba = base_lba
+        self.num_regions = num_regions
+        self.region_pages = region_pages
+        self.region_bytes = region_pages * device.ssd.page_size
+        self.eviction = eviction
+        self.ru_aware_trim = ru_aware_trim
+
+        self.regions = [Region(i) for i in range(num_regions)]
+        self._clean: Deque[int] = collections.deque(range(1, num_regions))
+        self._sealed: Deque[int] = collections.deque()
+        self._open: Region = self.regions[0]
+        self.index: Dict[int, Tuple[int, int]] = {}  # key -> (region, size)
+        self._ticks = 0
+
+        self.inserts = 0
+        self.lookups = 0
+        self.hits = 0
+        self.evicted_items = 0
+        self.evicted_regions = 0
+        self.flash_reads = 0
+        self.flash_writes = 0
+        self.app_bytes_written = 0
+        self.ssd_bytes_written = 0
+
+    # ------------------------------------------------------------------
+
+    def _region_lba(self, region_id: int) -> int:
+        return self.base_lba + region_id * self.region_pages
+
+    def accepts(self, item: CacheItem) -> bool:
+        """Whether the item fits a region at all."""
+        return item.stored_size <= self.region_bytes
+
+    def contains(self, key: int) -> bool:
+        """Ground-truth membership (no I/O charged)."""
+        return key in self.index
+
+    # ------------------------------------------------------------------
+
+    def _flush_open(self, now_ns: int) -> int:
+        """Seal the open region and write it to flash sequentially.
+
+        The flush is *asynchronous* (CacheLib's region flusher runs in
+        the background): the write occupies the device timeline — so it
+        interferes with subsequent reads, which is the p99 effect the
+        paper measures — but the caller is not blocked on it, hence the
+        returned completion time is ``now_ns``.
+        """
+        region = self._open
+        page_size = self.device.ssd.page_size
+        # Regions are written whole (CacheLib's flusher writes the
+        # fixed-size region buffer).  Writing only the used pages would
+        # leave stale tail pages from the previous trip around the
+        # region ring mapped forever — zombie valid pages the device
+        # would keep migrating.
+        pages = self.region_pages if region.used_bytes else 0
+        if pages:
+            self.device.write(
+                self._region_lba(region.region_id), pages, self.handle, now_ns
+            )
+            self.flash_writes += pages
+            self.ssd_bytes_written += pages * page_size
+        region.sealed = True
+        self._sealed.append(region.region_id)
+        return now_ns
+
+    def _evict_one_region(self) -> None:
+        """Recycle a sealed region according to the eviction policy."""
+        if not self._sealed:
+            raise RuntimeError("no sealed region to evict")
+        if self.eviction == EVICTION_FIFO:
+            victim_id = self._sealed.popleft()
+        else:
+            victim_id = min(
+                self._sealed, key=lambda rid: self.regions[rid].last_access
+            )
+            self._sealed.remove(victim_id)
+        victim = self.regions[victim_id]
+        for key in victim.keys:
+            entry = self.index.get(key)
+            if entry is not None and entry[0] == victim_id:
+                del self.index[key]
+                self.evicted_items += 1
+        if self.ru_aware_trim:
+            # Lesson 1: hint the device the whole region is dead so the
+            # containing reclaim unit can free itself without GC.
+            self.device.deallocate(
+                self._region_lba(victim_id), self.region_pages
+            )
+        victim.reset()
+        self._clean.append(victim_id)
+        self.evicted_regions += 1
+
+    def _next_open(self, now_ns: int) -> None:
+        if not self._clean:
+            self._evict_one_region()
+        self._open = self.regions[self._clean.popleft()]
+        self._open.reset()
+
+    def insert(self, item: CacheItem, now_ns: int = 0) -> Tuple[bool, int]:
+        """Append an item to the log; returns ``(admitted, completion_ns)``."""
+        if not self.accepts(item):
+            return False, now_ns
+        done = now_ns
+        if self._open.used_bytes + item.stored_size > self.region_bytes:
+            done = self._flush_open(now_ns)
+            self._next_open(now_ns)
+        region = self._open
+        stale = self.index.get(item.key)
+        if stale is not None and stale[0] != region.region_id:
+            # Old copy in another region becomes dead weight there until
+            # that region is recycled — the LOC's application-level WA.
+            pass
+        region.keys.append(item.key)
+        region.used_bytes += item.stored_size
+        region.last_access = self._ticks
+        self.index[item.key] = (region.region_id, item.size)
+        self.inserts += 1
+        self.app_bytes_written += item.size
+        self._ticks += 1
+        return True, done
+
+    def lookup(self, key: int, now_ns: int = 0) -> Tuple[Optional[CacheItem], int]:
+        """Look up a key; charges a page read on index hit."""
+        self.lookups += 1
+        self._ticks += 1
+        entry = self.index.get(key)
+        if entry is None:
+            return None, now_ns
+        region_id, size = entry
+        region = self.regions[region_id]
+        region.last_access = self._ticks
+        if region is self._open and not region.sealed:
+            # Item still buffered in DRAM; no flash read needed.
+            self.hits += 1
+            return CacheItem(key, size), now_ns
+        pages = max(1, -(-size // self.device.ssd.page_size))
+        _, done = self.device.read(self._region_lba(region_id), pages, now_ns)
+        self.flash_reads += pages
+        self.hits += 1
+        return CacheItem(key, size), done
+
+    def invalidate(self, key: int) -> bool:
+        """Drop a key from the index without I/O (SET supersedes it).
+
+        The dead bytes linger in their region until it is recycled —
+        the LOC's application-level write amplification.
+        """
+        return self.index.pop(key, None) is not None
+
+    def delete(self, key: int, now_ns: int = 0) -> Tuple[bool, int]:
+        """Drop a key from the index; space reclaims at region recycle."""
+        if self.index.pop(key, None) is None:
+            return False, now_ns
+        return True, now_ns
+
+    # ------------------------------------------------------------------
+
+    @property
+    def footprint_pages(self) -> int:
+        """Flash pages the LOC owns."""
+        return self.num_regions * self.region_pages
+
+    @property
+    def item_count(self) -> int:
+        return len(self.index)
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0

@@ -1,0 +1,247 @@
+"""Small Object Cache (SOC): set-associative flash cache for tiny items.
+
+Mirrors CacheLib's SOC design (Section 2.3):
+
+* The SOC's flash space is an array of fixed-size buckets (default
+  4 KiB, one NAND page).  A uniform hash maps each key to exactly one
+  bucket, so tracking billions of small objects needs almost no DRAM —
+  just one small bloom filter per bucket.
+* Every insert rewrites the *entire* bucket in place: one random 4 KiB
+  page write to the SSD.  This is the "SSD-unfriendly" random write
+  pattern whose intermixing with LOC data the paper attacks (Insight 1),
+  and whose high self-invalidation rate FDP segregation exploits
+  (Insight 3).
+* Within a bucket, items are evicted FIFO when an insert overflows the
+  bucket's capacity.
+
+The simulator keeps bucket contents (key → size) in memory as ground
+truth, but charges flash I/O exactly as the real engine would: a page
+write per insert/delete, and a page read per lookup that survives the
+bloom filter.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List, Optional, Tuple
+
+from ..core.device_layer import FdpAwareDevice
+from ..core.placement import PlacementHandle
+from .bloom import BloomFilter, splitmix64
+from .item import ITEM_HEADER_BYTES, CacheItem
+
+__all__ = ["SmallObjectCache", "BUCKET_HEADER_BYTES"]
+
+# Bucket-level metadata stored on flash (generation, checksum, count).
+BUCKET_HEADER_BYTES = 16
+
+
+class SmallObjectCache:
+    """Set-associative bucket cache over a contiguous LBA range.
+
+    Parameters
+    ----------
+    device:
+        FDP-aware device layer the engine submits I/O through.
+    handle:
+        Placement handle tagging every SOC write (allocated by the
+        placement-handle allocator at cache initialization).
+    base_lba:
+        First LBA of the SOC's flash slice.
+    num_buckets:
+        Bucket count; the SOC occupies ``num_buckets`` pages starting
+        at ``base_lba`` (bucket size == page size).
+    """
+
+    def __init__(
+        self,
+        device: FdpAwareDevice,
+        handle: PlacementHandle,
+        base_lba: int,
+        num_buckets: int,
+        *,
+        bloom_bits: int = 64,
+        bloom_hashes: int = 4,
+    ) -> None:
+        if num_buckets <= 0:
+            raise ValueError("num_buckets must be positive")
+        if base_lba < 0:
+            raise ValueError("base_lba must be non-negative")
+        self.device = device
+        self.handle = handle
+        self.base_lba = base_lba
+        self.num_buckets = num_buckets
+        self.bucket_size = device.ssd.page_size
+        self.usable_bucket_bytes = self.bucket_size - BUCKET_HEADER_BYTES
+        self._buckets: List["OrderedDict[int, int]"] = [
+            OrderedDict() for _ in range(num_buckets)
+        ]
+        self._used: List[int] = [0] * num_buckets
+        self._blooms: List[BloomFilter] = [
+            BloomFilter(bloom_bits, bloom_hashes) for _ in range(num_buckets)
+        ]
+        # engine statistics
+        self.inserts = 0
+        self.lookups = 0
+        self.hits = 0
+        self.evictions = 0
+        self.bloom_rejects = 0
+        self.flash_reads = 0
+        self.flash_writes = 0
+        self.app_bytes_written = 0
+        self.ssd_bytes_written = 0
+
+    # ------------------------------------------------------------------
+
+    def bucket_of(self, key: int) -> int:
+        """Uniform hash placement of a key (Appendix A's assumption)."""
+        return splitmix64(key) % self.num_buckets
+
+    def _entry_bytes(self, item: CacheItem) -> int:
+        return item.stored_size
+
+    def accepts(self, item: CacheItem) -> bool:
+        """Whether the item physically fits in a bucket."""
+        return self._entry_bytes(item) <= self.usable_bucket_bytes
+
+    def contains(self, key: int) -> bool:
+        """Ground-truth membership (no I/O charged; used internally)."""
+        return key in self._buckets[self.bucket_of(key)]
+
+    # ------------------------------------------------------------------
+
+    def _write_bucket(self, bucket: int, now_ns: int) -> int:
+        """Rewrite a whole bucket page on flash and rebuild its bloom."""
+        done = self.device.write(
+            self.base_lba + bucket, 1, self.handle, now_ns
+        )
+        self.flash_writes += 1
+        self.ssd_bytes_written += self.bucket_size
+        self._blooms[bucket].rebuild(self._buckets[bucket].keys())
+        return done
+
+    def insert(self, item: CacheItem, now_ns: int = 0) -> Tuple[bool, int]:
+        """Insert an item; returns ``(admitted, completion_ns)``.
+
+        An insert that does not fit any bucket (item too large) is
+        rejected without I/O; the hybrid cache routes such items to the
+        LOC instead via its size threshold.
+        """
+        if not self.accepts(item):
+            return False, now_ns
+        bucket = self.bucket_of(item.key)
+        entries = self._buckets[bucket]
+        nbytes = self._entry_bytes(item)
+        old = entries.pop(item.key, None)
+        if old is not None:
+            self._used[bucket] -= old
+        entries[item.key] = nbytes
+        self._used[bucket] += nbytes
+        while self._used[bucket] > self.usable_bucket_bytes:
+            _, evicted_bytes = entries.popitem(last=False)
+            self._used[bucket] -= evicted_bytes
+            self.evictions += 1
+        done = self._write_bucket(bucket, now_ns)
+        self.inserts += 1
+        self.app_bytes_written += item.size
+        return True, done
+
+    def insert_many(
+        self, items: List[CacheItem], now_ns: int = 0
+    ) -> Tuple[int, int]:
+        """Insert several items destined for the *same* bucket with one
+        bucket rewrite.
+
+        This is the primitive a Kangaroo-style log front needs: moving
+        a batch of staged items into their set costs one flash write
+        instead of one per item.  Returns ``(admitted, completion_ns)``.
+        """
+        if not items:
+            return 0, now_ns
+        bucket = self.bucket_of(items[0].key)
+        admitted = 0
+        for item in items:
+            if self.bucket_of(item.key) != bucket:
+                raise ValueError("insert_many requires a single bucket")
+            if not self.accepts(item):
+                continue
+            entries = self._buckets[bucket]
+            nbytes = self._entry_bytes(item)
+            old = entries.pop(item.key, None)
+            if old is not None:
+                self._used[bucket] -= old
+            entries[item.key] = nbytes
+            self._used[bucket] += nbytes
+            self.app_bytes_written += item.size
+            admitted += 1
+        while self._used[bucket] > self.usable_bucket_bytes:
+            _, evicted_bytes = self._buckets[bucket].popitem(last=False)
+            self._used[bucket] -= evicted_bytes
+            self.evictions += 1
+        if admitted == 0:
+            return 0, now_ns
+        done = self._write_bucket(bucket, now_ns)
+        self.inserts += admitted
+        return admitted, done
+
+    def lookup(self, key: int, now_ns: int = 0) -> Tuple[Optional[CacheItem], int]:
+        """Look up a key; returns ``(item_or_None, completion_ns)``.
+
+        A bloom reject answers from DRAM; otherwise one page read is
+        charged whether the key is present or the bloom lied.
+        """
+        self.lookups += 1
+        bucket = self.bucket_of(key)
+        if not self._blooms[bucket].may_contain(key):
+            self.bloom_rejects += 1
+            return None, now_ns
+        _, done = self.device.read(self.base_lba + bucket, 1, now_ns)
+        self.flash_reads += 1
+        nbytes = self._buckets[bucket].get(key)
+        if nbytes is None:
+            return None, done
+        self.hits += 1
+        return CacheItem(key, nbytes - ITEM_HEADER_BYTES), done
+
+    def invalidate(self, key: int) -> bool:
+        """Drop a key without rewriting the bucket.
+
+        Used when a SET supersedes the flash copy: the stale bytes stay
+        on flash until the bucket's next rewrite (and the bloom filter
+        may keep answering "maybe" — a tolerated false positive), but
+        the entry is unreachable.  Mirrors CacheLib invalidating the
+        NVM copy on mutation without issuing I/O.
+        """
+        bucket = self.bucket_of(key)
+        nbytes = self._buckets[bucket].pop(key, None)
+        if nbytes is None:
+            return False
+        self._used[bucket] -= nbytes
+        return True
+
+    def delete(self, key: int, now_ns: int = 0) -> Tuple[bool, int]:
+        """Remove a key; a removal rewrites the bucket (as CacheLib does)."""
+        bucket = self.bucket_of(key)
+        entries = self._buckets[bucket]
+        nbytes = entries.pop(key, None)
+        if nbytes is None:
+            return False, now_ns
+        self._used[bucket] -= nbytes
+        done = self._write_bucket(bucket, now_ns)
+        return True, done
+
+    # ------------------------------------------------------------------
+
+    @property
+    def footprint_pages(self) -> int:
+        """Flash pages the SOC owns."""
+        return self.num_buckets
+
+    @property
+    def item_count(self) -> int:
+        """Items currently cached (O(buckets))."""
+        return sum(len(b) for b in self._buckets)
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0

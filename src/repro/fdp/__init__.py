@@ -1,0 +1,32 @@
+"""NVMe Flexible Data Placement (TP4146) abstractions.
+
+This package models the FDP concepts the paper relies on — reclaim unit
+handles and their isolation types, placement identifiers, manufacturer
+configurations, the event log, and the statistics log page — decoupled
+from the NAND simulator that implements their semantics
+(:mod:`repro.ssd`).
+"""
+
+from .config import (
+    PLACEMENT_PROPOSALS,
+    FdpConfiguration,
+    PlacementProposal,
+    default_configuration,
+)
+from .events import FdpEvent, FdpEventLog, FdpEventType
+from .logpage import FdpStatisticsLogPage
+from .ruh import PlacementIdentifier, RuhDescriptor, RuhType
+
+__all__ = [
+    "FdpConfiguration",
+    "default_configuration",
+    "PlacementProposal",
+    "PLACEMENT_PROPOSALS",
+    "FdpEvent",
+    "FdpEventLog",
+    "FdpEventType",
+    "FdpStatisticsLogPage",
+    "PlacementIdentifier",
+    "RuhDescriptor",
+    "RuhType",
+]

@@ -1,0 +1,143 @@
+"""FDP configuration descriptors (NVMe TP4146).
+
+A device ships one or more immutable FDP configurations chosen by the
+manufacturer; the host selects one and enables FDP on the endurance
+group.  The paper's PM9D3 exposes a single configuration: 8 initially
+isolated RUHs, 1 reclaim group, ~6 GB reclaim units.  The simulator
+defaults to the same shape (scaled RU size comes from the geometry).
+
+Also included: the qualitative comparison of data-placement proposals
+from Table 1 of the paper, as structured data so examples and docs can
+render it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Tuple
+
+from .ruh import PlacementIdentifier, RuhDescriptor, RuhType
+
+__all__ = [
+    "FdpConfiguration",
+    "default_configuration",
+    "PlacementProposal",
+    "PLACEMENT_PROPOSALS",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class FdpConfiguration:
+    """One manufacturer-defined FDP configuration.
+
+    Parameters mirror the spec: the RUH list, the number of reclaim
+    groups, and the reclaim-unit size in bytes.
+    """
+
+    ruhs: Tuple[RuhDescriptor, ...]
+    num_reclaim_groups: int
+    reclaim_unit_bytes: int
+
+    def __post_init__(self) -> None:
+        if not self.ruhs:
+            raise ValueError("an FDP configuration needs at least one RUH")
+        if self.num_reclaim_groups <= 0:
+            raise ValueError("num_reclaim_groups must be positive")
+        if self.reclaim_unit_bytes <= 0:
+            raise ValueError("reclaim_unit_bytes must be positive")
+        ids = [r.ruh_id for r in self.ruhs]
+        if ids != list(range(len(ids))):
+            raise ValueError("RUH ids must be dense and start at 0")
+
+    @property
+    def num_ruhs(self) -> int:
+        return len(self.ruhs)
+
+    def ruh(self, ruh_id: int) -> RuhDescriptor:
+        """Look up a handle descriptor by id."""
+        if not 0 <= ruh_id < len(self.ruhs):
+            raise ValueError(f"no RUH {ruh_id} in this configuration")
+        return self.ruhs[ruh_id]
+
+    def placement_identifiers(self) -> Tuple[PlacementIdentifier, ...]:
+        """All valid <RG, RUH> pairs under this configuration."""
+        return tuple(
+            PlacementIdentifier(rg, ruh.ruh_id)
+            for rg in range(self.num_reclaim_groups)
+            for ruh in self.ruhs
+        )
+
+    def validate_pid(self, pid: PlacementIdentifier) -> None:
+        """Raise ``ValueError`` if a PID is not addressable here."""
+        if pid.reclaim_group >= self.num_reclaim_groups:
+            raise ValueError(
+                f"reclaim group {pid.reclaim_group} out of range "
+                f"(device has {self.num_reclaim_groups})"
+            )
+        if pid.ruh_id >= self.num_ruhs:
+            raise ValueError(
+                f"RUH {pid.ruh_id} out of range (device has {self.num_ruhs})"
+            )
+
+
+def default_configuration(
+    reclaim_unit_bytes: int,
+    *,
+    num_ruhs: int = 8,
+    num_reclaim_groups: int = 1,
+    ruh_type: RuhType = RuhType.INITIALLY_ISOLATED,
+) -> FdpConfiguration:
+    """The paper's device configuration: 8 initially isolated RUHs, 1 RG."""
+    return FdpConfiguration(
+        ruhs=tuple(RuhDescriptor(i, ruh_type) for i in range(num_ruhs)),
+        num_reclaim_groups=num_reclaim_groups,
+        reclaim_unit_bytes=reclaim_unit_bytes,
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class PlacementProposal:
+    """One row of the paper's Table 1."""
+
+    name: str
+    write_patterns: str
+    placement_primitive: str
+    gc_control: str
+    host_manages_nand: bool
+    runs_unchanged_apps: bool
+
+
+PLACEMENT_PROPOSALS: Tuple[PlacementProposal, ...] = (
+    PlacementProposal(
+        name="Streams",
+        write_patterns="Random, Sequential",
+        placement_primitive="Stream identifiers",
+        gc_control="SSD-based without feedback to host",
+        host_manages_nand=False,
+        runs_unchanged_apps=True,
+    ),
+    PlacementProposal(
+        name="Open-Channel",
+        write_patterns="Random, Sequential",
+        placement_primitive="Host logical-to-physical mapping",
+        gc_control="Host-based",
+        host_manages_nand=True,
+        runs_unchanged_apps=False,
+    ),
+    PlacementProposal(
+        name="ZNS",
+        write_patterns="Sequential",
+        placement_primitive="Zones",
+        gc_control="Host-based",
+        host_manages_nand=False,
+        runs_unchanged_apps=False,
+    ),
+    PlacementProposal(
+        name="FDP",
+        write_patterns="Random, Sequential",
+        placement_primitive="Reclaim unit handles",
+        gc_control="SSD-based with feedback through logs",
+        host_manages_nand=False,
+        runs_unchanged_apps=True,
+    ),
+)

@@ -1,0 +1,28 @@
+"""Analytical models from the paper: DLWA (Theorem 1, Appendix A) and
+carbon emissions (Theorems 2-3)."""
+
+from .carbon import (
+    CarbonParams,
+    embodied_co2e_kg,
+    operational_co2e_kg,
+    total_co2e_kg,
+)
+from .dlwa import (
+    average_live_migration,
+    dlwa_fdp,
+    dlwa_from_delta,
+    soc_physical_space,
+    validate_ratio,
+)
+
+__all__ = [
+    "CarbonParams",
+    "embodied_co2e_kg",
+    "operational_co2e_kg",
+    "total_co2e_kg",
+    "average_live_migration",
+    "dlwa_fdp",
+    "dlwa_from_delta",
+    "soc_physical_space",
+    "validate_ratio",
+]

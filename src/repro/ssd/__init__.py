@@ -1,0 +1,58 @@
+"""Simulated NAND SSD substrate.
+
+A page-mapped FTL with superblock reclaim units, greedy garbage
+collection, FDP placement semantics, a busy-clock latency model, and an
+operational-energy model.  This package is the stand-in for the
+Samsung PM9D3 FDP SSD the paper evaluates on (see DESIGN.md for the
+substitution rationale).
+"""
+
+from .device import SimulatedSSD
+from .energy import EnergyCosts, EnergyModel
+from .namespace import Namespace, NamespaceManager
+from .wear import WearStats, collect_wear_stats, select_wear_victim
+from .zns import Zone, ZonedSSD, ZoneError, ZoneState, ZnsHostLog
+from .errors import (
+    DeviceFullError,
+    InvalidPlacementError,
+    NamespaceError,
+    OutOfRangeError,
+    SsdError,
+)
+from .ftl import Ftl
+from .geometry import GIB, KIB, MIB, Geometry
+from .latency import LatencyModel, NandTimings
+from .stats import DeviceStats, StatsSnapshot
+from .superblock import Superblock, SuperblockState
+
+__all__ = [
+    "SimulatedSSD",
+    "Namespace",
+    "NamespaceManager",
+    "WearStats",
+    "collect_wear_stats",
+    "select_wear_victim",
+    "ZonedSSD",
+    "Zone",
+    "ZoneState",
+    "ZoneError",
+    "ZnsHostLog",
+    "Ftl",
+    "Geometry",
+    "KIB",
+    "MIB",
+    "GIB",
+    "EnergyCosts",
+    "EnergyModel",
+    "LatencyModel",
+    "NandTimings",
+    "DeviceStats",
+    "StatsSnapshot",
+    "Superblock",
+    "SuperblockState",
+    "SsdError",
+    "OutOfRangeError",
+    "DeviceFullError",
+    "InvalidPlacementError",
+    "NamespaceError",
+]

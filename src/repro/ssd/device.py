@@ -1,0 +1,198 @@
+"""`SimulatedSSD` — the NVMe-device facade over the FTL.
+
+Presents the surface the rest of the system (and the experiments) talk
+to, in the same shape the paper's stack uses:
+
+* writes that may carry an FDP placement identifier (the placement
+  directive of TP4146);
+* reads and deallocate (TRIM);
+* log pages: FDP statistics (host vs. media bytes → DLWA) and the FDP
+  event log (media-relocated events → GC activity, Figure 10b);
+* device management: format (the paper TRIMs the whole device before
+  every experiment) and FDP enable/disable (the paper toggles FDP with
+  nvme-cli to produce its Non-FDP baseline).
+
+The device keeps one namespace covering the full logical range; the
+multi-tenant experiment (Figure 11) partitions the LBA space at the
+host, which is how the paper runs it as well.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..fdp.config import FdpConfiguration, default_configuration
+from ..fdp.events import FdpEventLog
+from ..fdp.logpage import FdpStatisticsLogPage
+from ..fdp.ruh import PlacementIdentifier
+from .energy import EnergyCosts, EnergyModel
+from .ftl import Ftl
+from .geometry import Geometry
+from .latency import LatencyModel, NandTimings
+from .stats import DeviceStats, StatsSnapshot
+
+__all__ = ["SimulatedSSD"]
+
+
+class SimulatedSSD:
+    """A simulated FDP-capable NVMe SSD.
+
+    Parameters
+    ----------
+    geometry:
+        Physical layout.
+    fdp:
+        ``True`` enables FDP with the paper's default configuration
+        (8 initially isolated RUHs, 1 reclaim group, superblock-sized
+        RUs); pass an explicit :class:`FdpConfiguration` for other
+        shapes; ``False``/``None`` yields a conventional SSD.
+    """
+
+    def __init__(
+        self,
+        geometry: Geometry,
+        fdp: "bool | FdpConfiguration | None" = False,
+        *,
+        timings: Optional[NandTimings] = None,
+        energy_costs: Optional[EnergyCosts] = None,
+        gc_reserve_superblocks: Optional[int] = None,
+        gc_victim_sample: Optional[int] = None,
+        wear_level_threshold: Optional[int] = None,
+    ) -> None:
+        self.geometry = geometry
+        if fdp is True:
+            config: Optional[FdpConfiguration] = default_configuration(
+                geometry.superblock_bytes
+            )
+        elif isinstance(fdp, FdpConfiguration):
+            config = fdp
+        else:
+            config = None
+        self.fdp_config = config
+        self._timings = timings
+        self._energy_costs = energy_costs
+        self._gc_reserve = gc_reserve_superblocks
+        self._gc_victim_sample = gc_victim_sample
+        self._wear_level_threshold = wear_level_threshold
+        self.ftl = self._new_ftl()
+
+    def _new_ftl(self) -> Ftl:
+        return Ftl(
+            self.geometry,
+            self.fdp_config,
+            latency=LatencyModel(self._timings),
+            energy=EnergyModel(self._energy_costs),
+            events=FdpEventLog(),
+            stats=DeviceStats(),
+            gc_reserve_superblocks=self._gc_reserve,
+            gc_victim_sample=self._gc_victim_sample,
+            wear_level_threshold=self._wear_level_threshold,
+        )
+
+    # ------------------------------------------------------------------
+    # identity / capacity
+    # ------------------------------------------------------------------
+
+    @property
+    def fdp_enabled(self) -> bool:
+        """Whether the controller accepts placement directives."""
+        return self.fdp_config is not None
+
+    @property
+    def page_size(self) -> int:
+        return self.geometry.page_size
+
+    @property
+    def capacity_pages(self) -> int:
+        """Advertised (logical) capacity in pages."""
+        return self.geometry.logical_pages
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Advertised (logical) capacity in bytes."""
+        return self.geometry.logical_bytes
+
+    # ------------------------------------------------------------------
+    # I/O
+    # ------------------------------------------------------------------
+
+    def write(
+        self,
+        lba: int,
+        npages: int = 1,
+        pid: Optional[PlacementIdentifier] = None,
+        now_ns: int = 0,
+    ) -> int:
+        """Write ``npages`` from ``lba`` with an optional placement id.
+
+        Returns the simulated completion time in nanoseconds.
+        """
+        return self.ftl.write_range(lba, npages, pid, now_ns)
+
+    def read(self, lba: int, npages: int = 1, now_ns: int = 0) -> Tuple[bool, int]:
+        """Read ``npages`` from ``lba``.
+
+        Returns ``(all_mapped, completion_ns)``.
+        """
+        if npages <= 0:
+            raise ValueError("npages must be positive")
+        return self.ftl.read_range(lba, npages, now_ns)
+
+    def deallocate(self, lba: int, npages: int = 1) -> int:
+        """TRIM a range; returns the number of pages invalidated."""
+        return self.ftl.deallocate(lba, npages)
+
+    def format(self) -> None:
+        """Return the device to a clean state (whole-device TRIM +
+        counter reset), as the paper does before every experiment."""
+        self.ftl = self._new_ftl()
+
+    # ------------------------------------------------------------------
+    # logs and telemetry (the nvme get-log surface)
+    # ------------------------------------------------------------------
+
+    @property
+    def stats(self) -> DeviceStats:
+        return self.ftl.stats
+
+    @property
+    def events(self) -> FdpEventLog:
+        return self.ftl.events
+
+    @property
+    def dlwa(self) -> float:
+        """Cumulative device-level write amplification."""
+        return self.ftl.stats.dlwa
+
+    def snapshot(self) -> StatsSnapshot:
+        """Freeze counters for interval-DLWA computation."""
+        return self.ftl.stats.snapshot()
+
+    def get_log_page(self) -> FdpStatisticsLogPage:
+        """FDP statistics log page built from live counters."""
+        page = self.geometry.page_size
+        s = self.ftl.stats
+        return FdpStatisticsLogPage(
+            host_bytes_with_metadata=s.host_pages_written * page,
+            media_bytes_written=s.nand_pages_written * page,
+            media_bytes_read_for_gc=s.gc_pages_read * page,
+        )
+
+    def energy_kwh(self, elapsed_ns: Optional[int] = None) -> float:
+        """Total operational energy so far, in kWh.
+
+        ``elapsed_ns`` defaults to the device's busy horizon, i.e. a
+        run with no idle time; pass the simulation's wall clock to
+        include the idle-power floor.
+        """
+        busy = self.ftl.latency.busy_ns_total
+        total = elapsed_ns if elapsed_ns is not None else busy
+        return self.ftl.energy.total_energy_kwh(total, busy)
+
+    def wear_stats(self):
+        """Erase-count distribution across superblocks."""
+        return self.ftl.wear_stats()
+
+    def check_invariants(self) -> None:
+        """Delegate to the FTL's consistency checker (test hook)."""
+        self.ftl.check_invariants()

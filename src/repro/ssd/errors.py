@@ -1,0 +1,41 @@
+"""Exception hierarchy for the simulated SSD.
+
+Mirrors the failure classes a real NVMe device reports: capacity
+exhaustion, out-of-range LBAs, and invalid placement directives.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "SsdError",
+    "OutOfRangeError",
+    "DeviceFullError",
+    "InvalidPlacementError",
+    "NamespaceError",
+]
+
+
+class SsdError(Exception):
+    """Base class for simulated-device errors."""
+
+
+class OutOfRangeError(SsdError):
+    """An LBA outside the namespace's advertised range was addressed."""
+
+
+class DeviceFullError(SsdError):
+    """No free superblock is available even after garbage collection.
+
+    A correctly sized device can always reclaim space because logical
+    capacity is smaller than physical capacity; seeing this error means
+    the configuration reserved too few spare superblocks for the number
+    of concurrently open write points.
+    """
+
+
+class InvalidPlacementError(SsdError):
+    """A write used a placement identifier the device did not advertise."""
+
+
+class NamespaceError(SsdError):
+    """Namespace management command was invalid (size, handles, ...)."""

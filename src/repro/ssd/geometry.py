@@ -1,0 +1,169 @@
+"""NAND geometry description for the simulated SSD.
+
+The paper's device (Samsung PM9D3, 1.88 TB) organizes NAND into dies,
+planes, erase blocks, and pages, and exposes superblock-sized reclaim
+units (RUs): a superblock is one erase block per plane across all dies
+(Section 3.2.1).  The simulator follows that organization but at a much
+smaller scale so experiments complete in seconds; DLWA depends only on
+size *ratios* (Theorem 1), not absolute capacity.
+
+Terminology used throughout the package:
+
+``page``
+    Unit of NAND programming and of host logical blocks.  The simulator
+    uses one LBA per page (4 KiB by default) to match the SOC bucket
+    size in CacheLib.
+``erase block (EB)``
+    Unit of NAND erasure inside one plane.
+``superblock``
+    One EB from every plane of every die, striped for bandwidth.  The
+    simulated FTL allocates, garbage-collects, and erases whole
+    superblocks; it is also the FDP reclaim unit.
+``overprovisioning (OP)``
+    Physical space beyond the advertised logical capacity, reserved by
+    the device for GC headroom.  7-20 % on commodity SSDs; 7 % default.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = ["Geometry", "KIB", "MIB", "GIB"]
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+
+@dataclasses.dataclass(frozen=True)
+class Geometry:
+    """Physical layout of the simulated NAND device.
+
+    Parameters
+    ----------
+    page_size:
+        Bytes per NAND page (and per LBA).  CacheLib's SOC writes whole
+        4 KiB buckets, so the default aligns with that.
+    pages_per_block:
+        Pages in one erase block.
+    planes_per_die / dies:
+        NAND parallelism; a superblock spans ``planes_per_die * dies``
+        erase blocks.
+    num_superblocks:
+        Total superblocks on the device (physical capacity).
+    op_fraction:
+        Device overprovisioning as a fraction of *physical* capacity.
+        The logical (advertised) capacity is ``physical * (1 - op)``.
+    """
+
+    page_size: int = 4 * KIB
+    pages_per_block: int = 64
+    planes_per_die: int = 2
+    dies: int = 2
+    num_superblocks: int = 256
+    op_fraction: float = 0.07
+
+    def __post_init__(self) -> None:
+        if self.page_size <= 0:
+            raise ValueError("page_size must be positive")
+        if self.pages_per_block <= 0:
+            raise ValueError("pages_per_block must be positive")
+        if self.planes_per_die <= 0 or self.dies <= 0:
+            raise ValueError("planes_per_die and dies must be positive")
+        if self.num_superblocks < 4:
+            raise ValueError(
+                "need at least 4 superblocks for write points + GC reserve"
+            )
+        if not 0.0 <= self.op_fraction < 1.0:
+            raise ValueError("op_fraction must be in [0, 1)")
+        if self.logical_pages <= 0:
+            raise ValueError("overprovisioning leaves no logical capacity")
+
+    @property
+    def blocks_per_superblock(self) -> int:
+        """Erase blocks striped into one superblock."""
+        return self.planes_per_die * self.dies
+
+    @property
+    def pages_per_superblock(self) -> int:
+        """Programmable pages in one superblock (the RU size in pages)."""
+        return self.pages_per_block * self.blocks_per_superblock
+
+    @property
+    def superblock_bytes(self) -> int:
+        """Bytes in one superblock (the FDP reclaim-unit size)."""
+        return self.pages_per_superblock * self.page_size
+
+    @property
+    def total_pages(self) -> int:
+        """All physical pages on the device."""
+        return self.num_superblocks * self.pages_per_superblock
+
+    @property
+    def physical_bytes(self) -> int:
+        """Raw NAND capacity in bytes."""
+        return self.total_pages * self.page_size
+
+    @property
+    def logical_pages(self) -> int:
+        """Host-visible LBA count (physical minus device OP)."""
+        return int(self.total_pages * (1.0 - self.op_fraction))
+
+    @property
+    def logical_bytes(self) -> int:
+        """Host-visible (advertised) capacity in bytes."""
+        return self.logical_pages * self.page_size
+
+    @property
+    def op_pages(self) -> int:
+        """Pages held back as device overprovisioning."""
+        return self.total_pages - self.logical_pages
+
+    def lba_for_byte(self, offset: int) -> int:
+        """Map a byte offset to its containing LBA."""
+        if offset < 0:
+            raise ValueError("offset must be non-negative")
+        return offset // self.page_size
+
+    def pages_for_bytes(self, nbytes: int) -> int:
+        """Pages needed to store ``nbytes`` (rounded up, min 1 for >0)."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if nbytes == 0:
+            return 0
+        return -(-nbytes // self.page_size)
+
+    @classmethod
+    def from_capacity(
+        cls,
+        physical_bytes: int,
+        *,
+        page_size: int = 4 * KIB,
+        superblock_bytes: int = 1 * MIB,
+        op_fraction: float = 0.07,
+    ) -> "Geometry":
+        """Build a geometry from target capacities.
+
+        Convenience for experiments: pick a physical capacity and an RU
+        (superblock) size; die/plane split is fixed at 2x2 and the
+        per-block page count is derived.
+        """
+        if superblock_bytes % page_size:
+            raise ValueError("superblock_bytes must be a multiple of page_size")
+        pages_per_sb = superblock_bytes // page_size
+        blocks_per_sb = 4  # 2 dies x 2 planes
+        if pages_per_sb % blocks_per_sb:
+            raise ValueError(
+                "superblock must split evenly across 4 erase blocks"
+            )
+        num_sb = physical_bytes // superblock_bytes
+        if num_sb < 4:
+            raise ValueError("physical capacity too small for superblock size")
+        return cls(
+            page_size=page_size,
+            pages_per_block=pages_per_sb // blocks_per_sb,
+            planes_per_die=2,
+            dies=2,
+            num_superblocks=num_sb,
+            op_fraction=op_fraction,
+        )

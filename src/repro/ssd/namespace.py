@@ -1,0 +1,190 @@
+"""NVMe namespace management for the simulated SSD.
+
+TP4146 ties FDP to namespaces: at namespace creation the host selects
+the list of reclaim unit handles the namespace may use; writes through
+the namespace must carry one of those handles (or none, which routes to
+the namespace's default RUH).  The paper's device supports two
+namespaces; its experiments create a single namespace mapping all 8
+RUHs ("For all experiments, we create a single namespace and map all
+the RU handles to it").
+
+The simulator implements namespaces as LBA-range slices of the device
+with RUH access control — which also gives multi-tenant deployments a
+harder isolation boundary than host-side LBA arithmetic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..fdp.ruh import PlacementIdentifier
+from .device import SimulatedSSD
+from .errors import InvalidPlacementError, NamespaceError, OutOfRangeError
+
+__all__ = ["Namespace", "NamespaceManager"]
+
+
+class Namespace:
+    """One namespace: a contiguous LBA slice plus an allowed-RUH list."""
+
+    def __init__(
+        self,
+        device: SimulatedSSD,
+        nsid: int,
+        base_lba: int,
+        size_pages: int,
+        ruh_ids: Optional[List[int]],
+    ) -> None:
+        self.device = device
+        self.nsid = nsid
+        self.base_lba = base_lba
+        self.size_pages = size_pages
+        # None means "all device RUHs" (and non-FDP devices have none).
+        self.ruh_ids = list(ruh_ids) if ruh_ids is not None else None
+        self.attached = True
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.size_pages * self.device.page_size
+
+    def placement_identifiers(self) -> List[PlacementIdentifier]:
+        """PIDs usable through this namespace (empty on non-FDP)."""
+        config = self.device.fdp_config
+        if config is None:
+            return []
+        allowed = (
+            self.ruh_ids
+            if self.ruh_ids is not None
+            else [r.ruh_id for r in config.ruhs]
+        )
+        return [
+            PlacementIdentifier(rg, ruh)
+            for rg in range(config.num_reclaim_groups)
+            for ruh in allowed
+        ]
+
+    def _check(self, lba: int, npages: int) -> None:
+        if not self.attached:
+            raise NamespaceError(f"namespace {self.nsid} was deleted")
+        if lba < 0 or npages <= 0 or lba + npages > self.size_pages:
+            raise OutOfRangeError(
+                f"range [{lba}, {lba + npages}) outside namespace "
+                f"{self.nsid} of {self.size_pages} pages"
+            )
+
+    def _check_pid(self, pid: Optional[PlacementIdentifier]) -> None:
+        if pid is None or self.ruh_ids is None:
+            return
+        if pid.ruh_id not in self.ruh_ids:
+            raise InvalidPlacementError(
+                f"RUH {pid.ruh_id} not attached to namespace {self.nsid} "
+                f"(allowed: {self.ruh_ids})"
+            )
+
+    def write(
+        self,
+        lba: int,
+        npages: int = 1,
+        pid: Optional[PlacementIdentifier] = None,
+        now_ns: int = 0,
+    ) -> int:
+        """Write inside the namespace with RUH access control."""
+        self._check(lba, npages)
+        self._check_pid(pid)
+        return self.device.write(self.base_lba + lba, npages, pid, now_ns)
+
+    def read(
+        self, lba: int, npages: int = 1, now_ns: int = 0
+    ) -> Tuple[bool, int]:
+        self._check(lba, npages)
+        return self.device.read(self.base_lba + lba, npages, now_ns)
+
+    def deallocate(self, lba: int, npages: int = 1) -> int:
+        self._check(lba, npages)
+        return self.device.deallocate(self.base_lba + lba, npages)
+
+
+class NamespaceManager:
+    """Creates and deletes namespaces over one device's LBA space.
+
+    Allocation is first-fit over the advertised capacity; deleting a
+    namespace deallocates (TRIMs) its LBA range, as NVMe namespace
+    deletion does.
+    """
+
+    def __init__(self, device: SimulatedSSD) -> None:
+        self.device = device
+        self._namespaces: Dict[int, Namespace] = {}
+        self._next_nsid = 1
+
+    def __len__(self) -> int:
+        return len(self._namespaces)
+
+    def get(self, nsid: int) -> Namespace:
+        try:
+            return self._namespaces[nsid]
+        except KeyError:
+            raise NamespaceError(f"no namespace {nsid}") from None
+
+    def _gaps(self) -> List[Tuple[int, int]]:
+        """Free (base, size) extents between live namespaces."""
+        used = sorted(
+            (ns.base_lba, ns.size_pages)
+            for ns in self._namespaces.values()
+        )
+        gaps = []
+        cursor = 0
+        for base, size in used:
+            if base > cursor:
+                gaps.append((cursor, base - cursor))
+            cursor = base + size
+        total = self.device.capacity_pages
+        if cursor < total:
+            gaps.append((cursor, total - cursor))
+        return gaps
+
+    def create(
+        self,
+        size_pages: int,
+        ruh_ids: Optional[List[int]] = None,
+    ) -> Namespace:
+        """Create a namespace of ``size_pages`` with an RUH list.
+
+        ``ruh_ids=None`` attaches every device RUH (the paper's
+        single-namespace setup); an explicit list restricts placement,
+        and is validated against the device configuration.
+        """
+        if size_pages <= 0:
+            raise NamespaceError("size_pages must be positive")
+        config = self.device.fdp_config
+        if ruh_ids is not None:
+            if config is None:
+                raise NamespaceError(
+                    "cannot attach RUHs on a non-FDP device"
+                )
+            for ruh in ruh_ids:
+                if not 0 <= ruh < config.num_ruhs:
+                    raise NamespaceError(f"device has no RUH {ruh}")
+            if len(set(ruh_ids)) != len(ruh_ids):
+                raise NamespaceError("duplicate RUH ids")
+        for base, size in self._gaps():
+            if size >= size_pages:
+                ns = Namespace(
+                    self.device, self._next_nsid, base, size_pages, ruh_ids
+                )
+                self._namespaces[self._next_nsid] = ns
+                self._next_nsid += 1
+                return ns
+        raise NamespaceError(
+            f"no contiguous extent of {size_pages} pages available"
+        )
+
+    def delete(self, nsid: int) -> None:
+        """Delete a namespace and TRIM its LBA range."""
+        ns = self.get(nsid)
+        self.device.deallocate(ns.base_lba, ns.size_pages)
+        ns.attached = False
+        del self._namespaces[nsid]
+
+    def list(self) -> List[Namespace]:
+        return sorted(self._namespaces.values(), key=lambda n: n.nsid)

@@ -1,0 +1,96 @@
+"""Device counters and write-amplification accounting.
+
+``DeviceStats`` is the simulator's equivalent of the SMART / OCP log
+pages the paper polls through ``nvme get-log``: cumulative host writes,
+cumulative NAND (media) writes, GC activity, and erase counts.  DLWA is
+computed exactly as Equation 1 of the paper:
+
+    DLWA = total NAND writes / total host writes
+
+Interval DLWA (the quantity plotted in Figures 5, 7, 8, 11) is obtained
+by snapshotting the counters periodically and differencing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = ["DeviceStats", "StatsSnapshot"]
+
+
+@dataclasses.dataclass(frozen=True)
+class StatsSnapshot:
+    """Immutable copy of the cumulative counters at one poll instant."""
+
+    host_pages_written: int
+    nand_pages_written: int
+    host_pages_read: int
+    gc_pages_read: int
+    gc_pages_migrated: int
+    gc_victim_selections: int
+    superblocks_erased: int
+    pages_deallocated: int
+
+    @property
+    def dlwa(self) -> float:
+        """Cumulative device-level write amplification (Eq. 1)."""
+        if self.host_pages_written == 0:
+            return 1.0
+        return self.nand_pages_written / self.host_pages_written
+
+    def interval_dlwa(self, earlier: "StatsSnapshot") -> float:
+        """DLWA over the window since ``earlier`` (paper's 10-min poll)."""
+        host = self.host_pages_written - earlier.host_pages_written
+        nand = self.nand_pages_written - earlier.nand_pages_written
+        if host <= 0:
+            return 1.0
+        return nand / host
+
+
+class DeviceStats:
+    """Mutable cumulative counters maintained by the FTL."""
+
+    __slots__ = (
+        "host_pages_written",
+        "nand_pages_written",
+        "host_pages_read",
+        "gc_pages_read",
+        "gc_pages_migrated",
+        "gc_victim_selections",
+        "superblocks_erased",
+        "pages_deallocated",
+    )
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        """Zero all counters (device format / sanitize)."""
+        self.host_pages_written = 0
+        self.nand_pages_written = 0
+        self.host_pages_read = 0
+        self.gc_pages_read = 0
+        self.gc_pages_migrated = 0
+        self.gc_victim_selections = 0
+        self.superblocks_erased = 0
+        self.pages_deallocated = 0
+
+    @property
+    def dlwa(self) -> float:
+        """Cumulative device-level write amplification (Eq. 1)."""
+        if self.host_pages_written == 0:
+            return 1.0
+        return self.nand_pages_written / self.host_pages_written
+
+    def snapshot(self) -> StatsSnapshot:
+        """Freeze the current counters for interval accounting."""
+        return StatsSnapshot(
+            host_pages_written=self.host_pages_written,
+            nand_pages_written=self.nand_pages_written,
+            host_pages_read=self.host_pages_read,
+            gc_pages_read=self.gc_pages_read,
+            gc_pages_migrated=self.gc_pages_migrated,
+            gc_victim_selections=self.gc_victim_selections,
+            superblocks_erased=self.superblocks_erased,
+            pages_deallocated=self.pages_deallocated,
+        )

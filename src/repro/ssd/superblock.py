@@ -1,0 +1,114 @@
+"""Superblock state tracking for the simulated FTL.
+
+A superblock is the FTL's allocation, GC, and erase unit, and doubles as
+the FDP reclaim unit (RU).  Page-level validity is *not* stored here —
+the FTL derives it from mapping consistency — but each superblock keeps
+an incrementally maintained count of valid pages so greedy GC victim
+selection is O(#superblocks) without touching page state.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["SuperblockState", "Superblock"]
+
+
+class SuperblockState(enum.Enum):
+    """Lifecycle of a superblock.
+
+    FREE -> OPEN (attached to a write point) -> CLOSED (fully
+    programmed) -> FREE again after erase.  Only CLOSED superblocks are
+    GC victims; OPEN ones are still receiving data.
+    """
+
+    FREE = "free"
+    OPEN = "open"
+    CLOSED = "closed"
+
+
+class Superblock:
+    """Mutable per-superblock bookkeeping.
+
+    Attributes
+    ----------
+    index:
+        Superblock number; physical pages ``index * pages_per_sb ...``
+        belong to it.
+    state:
+        Current :class:`SuperblockState`.
+    valid_pages:
+        Number of pages whose data is still referenced by the L2P map.
+    write_ptr:
+        Next page offset to program while OPEN (pages program in order,
+        as on real NAND).
+    erase_count:
+        Program/erase cycles consumed — the endurance metric DLWA
+        ultimately burns.
+    stream:
+        Opaque tag recording which write point (placement id) filled the
+        superblock.  Used for accounting and for the persistently
+        isolated GC rule; ``None`` while FREE.
+    """
+
+    __slots__ = (
+        "index",
+        "state",
+        "valid_pages",
+        "write_ptr",
+        "erase_count",
+        "stream",
+    )
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.state = SuperblockState.FREE
+        self.valid_pages = 0
+        self.write_ptr = 0
+        self.erase_count = 0
+        self.stream: object = None
+
+    def open_for(self, stream: object) -> None:
+        """Attach to a write point and begin programming for ``stream``."""
+        if self.state is not SuperblockState.FREE:
+            raise RuntimeError(
+                f"superblock {self.index} opened while {self.state.value}"
+            )
+        self.state = SuperblockState.OPEN
+        self.stream = stream
+        self.write_ptr = 0
+
+    def close(self) -> None:
+        """Mark fully programmed; becomes a GC candidate."""
+        if self.state is not SuperblockState.OPEN:
+            raise RuntimeError(
+                f"superblock {self.index} closed while {self.state.value}"
+            )
+        self.state = SuperblockState.CLOSED
+
+    def erase(self) -> None:
+        """Erase and return to the free pool.
+
+        Only legal when every page is invalid (the FTL migrates valid
+        pages out first).
+        """
+        if self.state is not SuperblockState.CLOSED:
+            raise RuntimeError(
+                f"superblock {self.index} erased while {self.state.value}"
+            )
+        if self.valid_pages != 0:
+            raise RuntimeError(
+                f"superblock {self.index} erased with "
+                f"{self.valid_pages} valid pages"
+            )
+        self.state = SuperblockState.FREE
+        self.stream = None
+        self.write_ptr = 0
+        self.erase_count += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Superblock(index={self.index}, state={self.state.value}, "
+            f"valid={self.valid_pages}, wp={self.write_ptr}, "
+            f"erases={self.erase_count}, stream={self.stream!r})"
+        )

@@ -1,0 +1,85 @@
+"""Wear statistics and static wear leveling.
+
+DLWA matters because NAND endurance is finite (Section 2.1-2.2): every
+GC migration burns program/erase cycles.  Real FTLs additionally run
+*static wear leveling* — occasionally recycling the least-worn blocks
+(which hold cold data) so the erase-count spread stays bounded and no
+single block ages out early.
+
+The simulator exposes both:
+
+* :class:`WearStats` summarises the erase-count distribution — tests
+  and the nvme-style ``smart`` command use it;
+* :func:`select_wear_victim` implements the leveling policy the FTL
+  consults when the spread exceeds a threshold.
+
+Wear leveling *adds* migrations (it moves valid cold data), so it
+trades a little extra DLWA for bounded wear — the classic conflict the
+paper sidesteps by making most GC victims fully invalid.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence
+
+from .superblock import Superblock, SuperblockState
+
+__all__ = ["WearStats", "collect_wear_stats", "select_wear_victim"]
+
+
+@dataclasses.dataclass(frozen=True)
+class WearStats:
+    """Erase-count distribution across superblocks."""
+
+    min_erases: int
+    max_erases: int
+    mean_erases: float
+    total_erases: int
+
+    @property
+    def spread(self) -> int:
+        """Max minus min erase count — what wear leveling bounds."""
+        return self.max_erases - self.min_erases
+
+    def lifetime_fraction_used(self, rated_pe_cycles: int) -> float:
+        """Worst-block endurance consumed, given a P/E rating."""
+        if rated_pe_cycles <= 0:
+            raise ValueError("rated_pe_cycles must be positive")
+        return self.max_erases / rated_pe_cycles
+
+
+def collect_wear_stats(superblocks: Sequence[Superblock]) -> WearStats:
+    """Summarise wear across a device's superblocks."""
+    if not superblocks:
+        raise ValueError("no superblocks")
+    erases = [sb.erase_count for sb in superblocks]
+    return WearStats(
+        min_erases=min(erases),
+        max_erases=max(erases),
+        mean_erases=sum(erases) / len(erases),
+        total_erases=sum(erases),
+    )
+
+
+def select_wear_victim(
+    superblocks: Sequence[Superblock], threshold: int
+) -> Optional[Superblock]:
+    """Pick a leveling victim when the wear spread exceeds ``threshold``.
+
+    Policy: if ``max - min > threshold``, return the *least-worn*
+    closed superblock — its content is the coldest data on the device,
+    and recycling it puts the young block back into write rotation.
+    Returns ``None`` when leveling is not needed or nothing is closed.
+    """
+    if threshold <= 0:
+        raise ValueError("threshold must be positive")
+    closed: List[Superblock] = [
+        sb for sb in superblocks if sb.state is SuperblockState.CLOSED
+    ]
+    if not closed:
+        return None
+    stats = collect_wear_stats(superblocks)
+    if stats.spread <= threshold:
+        return None
+    return min(closed, key=lambda sb: sb.erase_count)

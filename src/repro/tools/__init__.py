@@ -1,0 +1,9 @@
+"""Command-line tools mirroring the paper's operational workflow.
+
+* :mod:`repro.tools.nvme` — an nvme-cli-style inspector for simulated
+  devices (the paper configures FDP and polls DLWA with nvme-cli).
+* :mod:`repro.tools.cachebench` — a CacheBench-style runner driven by
+  a JSON config (the paper runs all experiments through CacheBench).
+"""
+
+__all__ = ["nvme", "cachebench"]

@@ -1,0 +1,177 @@
+"""nvme-cli-style tool for simulated SSDs.
+
+The paper drives its device through nvme-cli: enabling/disabling FDP,
+TRIMming before experiments, and polling ``nvme get-log`` for the host
+and media byte counters that yield DLWA.  This tool exposes the same
+workflow over a pickled :class:`~repro.ssd.device.SimulatedSSD`:
+
+    python -m repro.tools.nvme create dev.pkl --superblocks 512 --fdp
+    python -m repro.tools.nvme id-ctrl dev.pkl
+    python -m repro.tools.nvme fdp-stats dev.pkl
+    python -m repro.tools.nvme fdp-events dev.pkl --last 10
+    python -m repro.tools.nvme smart dev.pkl
+    python -m repro.tools.nvme format dev.pkl
+
+Device state persists across invocations in the pickle file, so other
+tooling (e.g. the cachebench runner with ``--device``) can interleave
+with inspection, as nvme-cli does with a live device.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pickle
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from ..ssd.device import SimulatedSSD
+from ..ssd.geometry import Geometry
+
+__all__ = ["main", "load_device", "save_device"]
+
+
+def load_device(path: str) -> SimulatedSSD:
+    """Unpickle a device created by the ``create`` subcommand."""
+    with open(path, "rb") as fh:
+        device = pickle.load(fh)
+    if not isinstance(device, SimulatedSSD):
+        raise SystemExit(f"{path} does not contain a simulated device")
+    return device
+
+
+def save_device(device: SimulatedSSD, path: str) -> None:
+    """Persist device state for the next invocation."""
+    tmp = Path(path).with_suffix(".tmp")
+    with open(tmp, "wb") as fh:
+        pickle.dump(device, fh)
+    tmp.replace(path)
+
+
+def _cmd_create(args: argparse.Namespace) -> int:
+    geometry = Geometry(
+        page_size=args.page_size,
+        pages_per_block=args.pages_per_block,
+        num_superblocks=args.superblocks,
+        op_fraction=args.op,
+    )
+    device = SimulatedSSD(geometry, fdp=args.fdp)
+    save_device(device, args.device)
+    print(
+        f"created {'FDP' if args.fdp else 'conventional'} device at "
+        f"{args.device}: {geometry.physical_bytes >> 20} MiB physical, "
+        f"{geometry.logical_bytes >> 20} MiB logical, "
+        f"{geometry.num_superblocks} reclaim units"
+    )
+    return 0
+
+
+def _cmd_id_ctrl(args: argparse.Namespace) -> int:
+    device = load_device(args.device)
+    g = device.geometry
+    print(f"physical capacity : {g.physical_bytes >> 20} MiB")
+    print(f"logical capacity  : {g.logical_bytes >> 20} MiB")
+    print(f"page size         : {g.page_size} B")
+    print(f"reclaim unit size : {g.superblock_bytes >> 10} KiB")
+    print(f"device OP         : {g.op_fraction:.0%}")
+    if device.fdp_config is None:
+        print("fdp               : disabled")
+    else:
+        cfg = device.fdp_config
+        print(
+            f"fdp               : enabled ({cfg.num_ruhs} RUHs, "
+            f"{cfg.num_reclaim_groups} RG, "
+            f"{cfg.ruhs[0].ruh_type.name.lower()})"
+        )
+    return 0
+
+
+def _cmd_fdp_stats(args: argparse.Namespace) -> int:
+    device = load_device(args.device)
+    page = device.get_log_page()
+    print(f"host bytes written      : {page.host_bytes_with_metadata}")
+    print(f"media bytes written     : {page.media_bytes_written}")
+    print(f"media bytes read for GC : {page.media_bytes_read_for_gc}")
+    print(f"DLWA                    : {page.dlwa:.4f}")
+    return 0
+
+
+def _cmd_fdp_events(args: argparse.Namespace) -> int:
+    device = load_device(args.device)
+    events = device.events
+    print(f"media relocated events : {events.media_relocated_events}")
+    print(f"media relocated pages  : {events.media_relocated_pages}")
+    for event in events.recent(args.last):
+        print(
+            f"  {event.timestamp_ns:>14} ns {event.event_type.value:<24} "
+            f"pages={event.pages} sb={event.superblock}"
+        )
+    return 0
+
+
+def _cmd_smart(args: argparse.Namespace) -> int:
+    device = load_device(args.device)
+    s = device.stats
+    erases = [sb.erase_count for sb in device.ftl.superblocks]
+    print(f"host pages written  : {s.host_pages_written}")
+    print(f"nand pages written  : {s.nand_pages_written}")
+    print(f"gc pages migrated   : {s.gc_pages_migrated}")
+    print(f"superblocks erased  : {s.superblocks_erased}")
+    print(f"pages deallocated   : {s.pages_deallocated}")
+    print(f"DLWA                : {s.dlwa:.4f}")
+    print(f"max erase count     : {max(erases)}")
+    print(f"mean erase count    : {sum(erases) / len(erases):.2f}")
+    print(f"free superblocks    : {device.ftl.free_superblocks}")
+    print(f"occupancy           : {device.ftl.occupancy():.1%}")
+    return 0
+
+
+def _cmd_format(args: argparse.Namespace) -> int:
+    device = load_device(args.device)
+    device.format()
+    save_device(device, args.device)
+    print("device formatted (full TRIM + counter reset)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-nvme",
+        description="nvme-cli-style inspector for simulated FDP SSDs",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    create = sub.add_parser("create", help="create a device file")
+    create.add_argument("device")
+    create.add_argument("--superblocks", type=int, default=512)
+    create.add_argument("--pages-per-block", type=int, default=32)
+    create.add_argument("--page-size", type=int, default=4096)
+    create.add_argument("--op", type=float, default=0.07)
+    create.add_argument("--fdp", action="store_true")
+    create.set_defaults(func=_cmd_create)
+
+    for name, func, help_text in (
+        ("id-ctrl", _cmd_id_ctrl, "show controller/geometry identity"),
+        ("fdp-stats", _cmd_fdp_stats, "FDP statistics log page"),
+        ("smart", _cmd_smart, "wear and write-amplification counters"),
+        ("format", _cmd_format, "reset the device to a clean state"),
+    ):
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("device")
+        p.set_defaults(func=func)
+
+    events = sub.add_parser("fdp-events", help="FDP event log")
+    events.add_argument("device")
+    events.add_argument("--last", type=int, default=10)
+    events.set_defaults(func=_cmd_fdp_events)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

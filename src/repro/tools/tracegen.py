@@ -1,0 +1,85 @@
+"""Trace generator CLI.
+
+Completes the tooling workflow (generate → replay → inspect):
+
+    python -m repro.tools.tracegen kvcache out.csv.gz --ops 500000 \
+        --keys 100000 --seed 7
+    python -m repro.tools.tracegen twitter out.csv.gz --profile
+
+``--profile`` prints the :mod:`repro.workloads.analysis` summary of the
+generated trace so users can sanity-check the shape (op mix, size
+mixture, churn) before replaying it with the cachebench tool.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..workloads.analysis import profile_trace
+from ..workloads.kvcache import kv_cache_trace, wo_kv_cache_trace
+from ..workloads.twitter import twitter_cluster12_trace
+
+__all__ = ["main"]
+
+_GENERATORS = {
+    "kvcache": kv_cache_trace,
+    "wo-kvcache": wo_kv_cache_trace,
+    "twitter": twitter_cluster12_trace,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-tracegen",
+        description="generate synthetic cache traces (gzipped CSV)",
+    )
+    parser.add_argument("workload", choices=sorted(_GENERATORS))
+    parser.add_argument("output", help="output path (.csv.gz)")
+    parser.add_argument("--ops", type=int, default=500_000)
+    parser.add_argument("--keys", type=int, default=100_000)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--get-fraction",
+        type=float,
+        default=None,
+        help="override the workload's GET fraction",
+    )
+    parser.add_argument(
+        "--churn",
+        type=float,
+        default=None,
+        help="override the key-churn fraction",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a trace profile after generating",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.ops <= 0 or args.keys <= 0:
+        raise SystemExit("--ops and --keys must be positive")
+    overrides = {}
+    if args.get_fraction is not None:
+        if args.workload == "wo-kvcache":
+            raise SystemExit("wo-kvcache has no GETs to adjust")
+        overrides["get_fraction"] = args.get_fraction
+    if args.churn is not None:
+        overrides["churn_fraction"] = args.churn
+    trace = _GENERATORS[args.workload](
+        args.ops, args.keys, seed=args.seed, **overrides
+    )
+    trace.save(args.output)
+    print(f"wrote {len(trace)} requests to {args.output}")
+    if args.profile:
+        print(profile_trace(trace).summary())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""Workload generators and trace infrastructure.
+
+Synthetic stand-ins for the production traces the paper replays (see
+DESIGN.md for the substitution rationale), plus a trace container with
+gzipped-CSV persistence.
+"""
+
+from .analysis import TraceProfile, profile_trace
+from .distributions import ZipfSampler, key_uniform, loguniform_sizes, mix64
+from .kvcache import KV_CACHE_DEFAULTS, kv_cache_trace, wo_kv_cache_trace
+from .synth import SynthSpec, synthesize
+from .trace import OP_DEL, OP_GET, OP_NAMES, OP_SET, Request, Trace
+from .twitter import TWITTER_DEFAULTS, twitter_cluster12_trace
+
+__all__ = [
+    "TraceProfile",
+    "profile_trace",
+    "ZipfSampler",
+    "key_uniform",
+    "loguniform_sizes",
+    "mix64",
+    "kv_cache_trace",
+    "wo_kv_cache_trace",
+    "KV_CACHE_DEFAULTS",
+    "twitter_cluster12_trace",
+    "TWITTER_DEFAULTS",
+    "SynthSpec",
+    "synthesize",
+    "Trace",
+    "Request",
+    "OP_GET",
+    "OP_SET",
+    "OP_DEL",
+    "OP_NAMES",
+]

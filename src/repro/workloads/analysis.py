@@ -1,0 +1,111 @@
+"""Trace characterization.
+
+The paper motivates its design from workload characteristics: op-type
+ratios (4:1 GET:SET for KV Cache, inverted for Twitter), small-object
+dominance in op counts vs. large-object dominance in bytes, working-set
+size relative to the cache, and key churn.  This module computes those
+properties from any :class:`~repro.workloads.trace.Trace`, so users can
+check whether their own traces sit in the regime where FDP segregation
+pays off.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict
+
+import numpy as np
+
+from .trace import OP_GET, OP_SET, Trace
+
+__all__ = ["TraceProfile", "profile_trace"]
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceProfile:
+    """Summary statistics of one trace."""
+
+    num_ops: int
+    num_unique_keys: int
+    get_fraction: float
+    set_fraction: float
+    small_op_fraction: float
+    small_byte_fraction: float
+    mean_object_bytes: float
+    median_object_bytes: float
+    working_set_bytes: int
+    churn_fraction: float
+    write_footprint_bytes: int
+
+    def summary(self) -> str:
+        """Human-readable multi-line report."""
+        get_set = (
+            self.get_fraction / self.set_fraction
+            if self.set_fraction
+            else float("inf")
+        )
+        return "\n".join(
+            [
+                f"ops                : {self.num_ops}",
+                f"unique keys        : {self.num_unique_keys}",
+                f"GET:SET            : {get_set:.1f}:1",
+                f"small ops          : {self.small_op_fraction:.0%}",
+                f"small bytes        : {self.small_byte_fraction:.0%}",
+                f"object size        : mean {self.mean_object_bytes:.0f} B, "
+                f"median {self.median_object_bytes:.0f} B",
+                f"working set        : {self.working_set_bytes >> 20} MiB",
+                f"write footprint    : {self.write_footprint_bytes >> 20} MiB",
+                f"key churn          : {self.churn_fraction:.0%}",
+            ]
+        )
+
+
+def profile_trace(
+    trace: Trace, *, small_threshold: int = 2048
+) -> TraceProfile:
+    """Compute a :class:`TraceProfile`.
+
+    ``churn_fraction`` compares the key populations of the first and
+    last decile of the trace: the fraction of late keys never seen in
+    the early window — a proxy for how fast the working set rotates,
+    which drives flash write pressure.
+    """
+    if len(trace) == 0:
+        raise ValueError("cannot profile an empty trace")
+    ops, keys, sizes = trace.ops, trace.keys, trace.sizes
+
+    gets = int((ops == OP_GET).sum())
+    sets = int((ops == OP_SET).sum())
+    small_mask = sizes <= small_threshold
+
+    unique_keys, first_index = np.unique(keys, return_index=True)
+    per_key_sizes = sizes[first_index]
+    working_set = int(per_key_sizes.sum())
+
+    set_mask = ops == OP_SET
+    write_footprint = int(sizes[set_mask].sum()) if sets else 0
+
+    decile = max(1, len(trace) // 10)
+    early = set(keys[:decile].tolist())
+    late = keys[-decile:]
+    if len(late):
+        new_late = sum(1 for k in late.tolist() if k not in early)
+        churn = new_late / len(late)
+    else:
+        churn = 0.0
+
+    return TraceProfile(
+        num_ops=len(trace),
+        num_unique_keys=len(unique_keys),
+        get_fraction=gets / len(trace),
+        set_fraction=sets / len(trace),
+        small_op_fraction=float(small_mask.mean()),
+        small_byte_fraction=(
+            float(sizes[small_mask].sum() / sizes.sum()) if sizes.sum() else 0.0
+        ),
+        mean_object_bytes=float(per_key_sizes.mean()),
+        median_object_bytes=float(np.median(per_key_sizes)),
+        working_set_bytes=working_set,
+        churn_fraction=churn,
+        write_footprint_bytes=write_footprint,
+    )

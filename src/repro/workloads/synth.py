@@ -1,0 +1,95 @@
+"""Shared synthesis engine for the workload generators.
+
+Builds a request stream with the knobs that matter to the paper's
+experiments:
+
+* **op mix** — GET fraction (KV Cache 4:1 GET:SET, Twitter 1:4);
+* **popularity** — Zipf(alpha) over a key space;
+* **churn** — the key space slides forward over time (new keys appear,
+  old ones stop being referenced), which keeps the flash layer writing
+  even for read-dominant workloads;
+* **size mixture** — a deterministic per-key small/large class and a
+  log-uniform size within the class, so small objects dominate *op
+  counts* while large objects dominate *bytes*, as the paper describes
+  for web-service caches.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from .distributions import ZipfSampler, key_uniform, loguniform_sizes
+from .trace import OP_GET, OP_SET, Trace
+
+__all__ = ["SynthSpec", "synthesize"]
+
+
+@dataclasses.dataclass(frozen=True)
+class SynthSpec:
+    """Parameters for one synthetic workload.
+
+    ``churn_fraction`` is the fraction of the key space retired (and
+    replaced with fresh keys) over the whole trace; churn is applied
+    continuously, one epoch per ``churn_epochs`` slice of the trace.
+    """
+
+    name: str
+    num_ops: int
+    num_keys: int
+    get_fraction: float
+    zipf_alpha: float = 0.9
+    small_key_fraction: float = 0.9
+    small_size_range: tuple = (100, 2000)
+    large_size_range: tuple = (8 * 1024, 64 * 1024)
+    churn_fraction: float = 0.3
+    churn_epochs: int = 32
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if self.num_ops <= 0 or self.num_keys <= 0:
+            raise ValueError("num_ops and num_keys must be positive")
+        if not 0.0 <= self.get_fraction <= 1.0:
+            raise ValueError("get_fraction must be in [0, 1]")
+        if not 0.0 <= self.small_key_fraction <= 1.0:
+            raise ValueError("small_key_fraction must be in [0, 1]")
+        if not 0.0 <= self.churn_fraction <= 1.0:
+            raise ValueError("churn_fraction must be in [0, 1]")
+        if self.churn_epochs <= 0:
+            raise ValueError("churn_epochs must be positive")
+
+
+def _sizes_for_keys(keys: np.ndarray, spec: SynthSpec) -> np.ndarray:
+    """Deterministic per-key size: class by one hash, size by another."""
+    class_u = key_uniform(keys, salt=0xC1A55)
+    size_u = key_uniform(keys, salt=0x512E)
+    small = class_u < spec.small_key_fraction
+    sizes = np.empty(len(keys), dtype=np.int64)
+    sizes[small] = loguniform_sizes(size_u[small], *spec.small_size_range)
+    sizes[~small] = loguniform_sizes(size_u[~small], *spec.large_size_range)
+    return sizes
+
+
+def synthesize(spec: SynthSpec) -> Trace:
+    """Generate the request stream described by ``spec``."""
+    sampler = ZipfSampler(spec.num_keys, spec.zipf_alpha, seed=spec.seed)
+    rng = np.random.default_rng(spec.seed + 1)
+
+    ranks = sampler.sample(spec.num_ops)
+
+    # Key churn: the zipf *rank* space is stable, but the mapping of
+    # rank -> key slides forward so that over the whole trace,
+    # churn_fraction of the key space is retired and replaced.
+    epoch_len = max(1, spec.num_ops // spec.churn_epochs)
+    epochs = np.arange(spec.num_ops, dtype=np.int64) // epoch_len
+    total_churn_keys = int(spec.num_keys * spec.churn_fraction)
+    stride = total_churn_keys // spec.churn_epochs
+    keys = ranks + epochs * stride
+
+    ops = np.where(
+        rng.random(spec.num_ops) < spec.get_fraction, OP_GET, OP_SET
+    ).astype(np.uint8)
+    sizes = _sizes_for_keys(keys, spec)
+
+    return Trace(ops=ops, keys=keys, sizes=sizes, name=spec.name)

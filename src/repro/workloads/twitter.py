@@ -1,0 +1,49 @@
+"""Synthetic Twitter cluster12 workload.
+
+The paper replays 7-day anonymized traces from Twitter's cluster12
+(Yang et al., OSDI '20): a *write-intensive* cluster where SETs
+outnumber GETs 4:1, with predominantly tiny objects (the OSDI study
+reports median object sizes of a few hundred bytes across Twitter's
+cache clusters).  This generator reproduces that shape:
+
+* SET:GET = 4:1 (``get_fraction=0.2``);
+* objects skew even smaller than the KV Cache workload;
+* higher churn — write-heavy clusters cycle their key space faster.
+"""
+
+from __future__ import annotations
+
+from .synth import SynthSpec, synthesize
+from .trace import Trace
+
+__all__ = ["twitter_cluster12_trace", "TWITTER_DEFAULTS"]
+
+TWITTER_DEFAULTS = dict(
+    get_fraction=0.2,  # 4:1 SET:GET
+    zipf_alpha=0.8,
+    small_key_fraction=0.95,
+    small_size_range=(50, 1200),
+    large_size_range=(4 * 1024, 32 * 1024),
+    churn_fraction=0.6,
+    churn_epochs=32,
+)
+
+
+def twitter_cluster12_trace(
+    num_ops: int,
+    num_keys: int,
+    *,
+    seed: int = 42,
+    **overrides: object,
+) -> Trace:
+    """Generate a scaled Twitter cluster12 trace."""
+    params = dict(TWITTER_DEFAULTS)
+    params.update(overrides)
+    spec = SynthSpec(
+        name="twitter-cluster12",
+        num_ops=num_ops,
+        num_keys=num_keys,
+        seed=seed,
+        **params,  # type: ignore[arg-type]
+    )
+    return synthesize(spec)

@@ -1,0 +1,67 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fdp import PlacementIdentifier, RuhDescriptor, RuhType
+from repro.fdp.config import FdpConfiguration
+from repro.ssd import Geometry, SimulatedSSD
+
+
+@pytest.fixture
+def tiny_geometry() -> Geometry:
+    """A very small device: 32 superblocks x 16 pages = 512 pages."""
+    return Geometry(
+        page_size=4096,
+        pages_per_block=4,
+        planes_per_die=2,
+        dies=2,
+        num_superblocks=32,
+        op_fraction=0.10,
+    )
+
+
+@pytest.fixture
+def small_geometry() -> Geometry:
+    """A small but GC-capable device: 128 superblocks x 32 pages."""
+    return Geometry(
+        page_size=4096,
+        pages_per_block=8,
+        planes_per_die=2,
+        dies=2,
+        num_superblocks=128,
+        op_fraction=0.10,
+    )
+
+
+@pytest.fixture
+def conventional_ssd(small_geometry: Geometry) -> SimulatedSSD:
+    return SimulatedSSD(small_geometry, fdp=False)
+
+
+@pytest.fixture
+def fdp_ssd(small_geometry: Geometry) -> SimulatedSSD:
+    return SimulatedSSD(small_geometry, fdp=True)
+
+
+@pytest.fixture
+def persistent_fdp_ssd(small_geometry: Geometry) -> SimulatedSSD:
+    config = FdpConfiguration(
+        ruhs=tuple(
+            RuhDescriptor(i, RuhType.PERSISTENTLY_ISOLATED) for i in range(4)
+        ),
+        num_reclaim_groups=1,
+        reclaim_unit_bytes=small_geometry.superblock_bytes,
+    )
+    return SimulatedSSD(small_geometry, fdp=config)
+
+
+@pytest.fixture
+def pid_a() -> PlacementIdentifier:
+    return PlacementIdentifier(0, 1)
+
+
+@pytest.fixture
+def pid_b() -> PlacementIdentifier:
+    return PlacementIdentifier(0, 2)

@@ -1,0 +1,80 @@
+"""Unit tests for flash admission policies."""
+
+import pytest
+
+from repro.cache import (
+    AcceptAll,
+    CacheItem,
+    DynamicRandomAdmission,
+    ProbabilisticAdmission,
+    SizeThresholdAdmission,
+)
+
+
+class TestAcceptAll:
+    def test_admits_everything(self):
+        policy = AcceptAll()
+        assert all(policy.admit(CacheItem(k, 100)) for k in range(10))
+        assert policy.admit_ratio == 1.0
+        assert policy.offered == 10
+
+
+class TestProbabilistic:
+    def test_zero_probability_rejects_all(self):
+        policy = ProbabilisticAdmission(0.0)
+        assert not any(policy.admit(CacheItem(k, 10)) for k in range(100))
+
+    def test_one_probability_accepts_all(self):
+        policy = ProbabilisticAdmission(1.0)
+        assert all(policy.admit(CacheItem(k, 10)) for k in range(100))
+
+    def test_half_probability_is_roughly_half(self):
+        policy = ProbabilisticAdmission(0.5, seed=1)
+        for k in range(4000):
+            policy.admit(CacheItem(k, 10))
+        assert 0.45 < policy.admit_ratio < 0.55
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProbabilisticAdmission(1.5)
+
+
+class TestSizeThreshold:
+    def test_threshold(self):
+        policy = SizeThresholdAdmission(1000)
+        assert policy.admit(CacheItem(1, 1000))
+        assert not policy.admit(CacheItem(2, 1001))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SizeThresholdAdmission(0)
+
+
+class TestDynamicRandom:
+    def test_throttles_to_budget(self):
+        # Offered 1000 B/op against a 250 B/op budget -> ~25% accept.
+        policy = DynamicRandomAdmission(250, adjust_interval=100, seed=3)
+        for k in range(20_000):
+            policy.admit(CacheItem(k, 1000))
+        assert 0.15 < policy.admit_ratio < 0.35
+
+    def test_underload_accepts_all(self):
+        policy = DynamicRandomAdmission(10_000, adjust_interval=50)
+        for k in range(2000):
+            policy.admit(CacheItem(k, 100))
+        assert policy.admit_ratio > 0.95
+
+    def test_adapts_to_load_change(self):
+        policy = DynamicRandomAdmission(500, adjust_interval=100, seed=5)
+        for k in range(5000):
+            policy.admit(CacheItem(k, 2000))  # heavy
+        assert policy.probability < 0.5
+        for k in range(5000):
+            policy.admit(CacheItem(k, 100))  # light
+        assert policy.probability == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DynamicRandomAdmission(0)
+        with pytest.raises(ValueError):
+            DynamicRandomAdmission(100, adjust_interval=0)

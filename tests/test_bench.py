@@ -1,0 +1,184 @@
+"""Unit tests for the bench harness: metrics, driver, runner."""
+
+import pytest
+
+from repro.bench import (
+    CacheBench,
+    LatencyReservoir,
+    ReplayConfig,
+    Scale,
+    build_experiment,
+    make_trace,
+    run_experiment,
+)
+from repro.bench.metrics import IntervalPoint, steady_state_dlwa
+from repro.cache import CacheConfig, HybridCache
+from repro.workloads import kv_cache_trace
+
+TINY_SCALE = Scale(num_superblocks=64, num_ops=20_000)
+
+
+class TestLatencyReservoir:
+    def test_percentiles(self):
+        r = LatencyReservoir()
+        for v in range(1, 101):
+            r.add(v * 1000)
+        assert r.percentile(50) == pytest.approx(50_500, rel=0.02)
+        assert r.p99_us() == pytest.approx(99.01, rel=0.02)
+
+    def test_empty_reservoir(self):
+        assert LatencyReservoir().percentile(99) == 0.0
+
+    def test_decimation_bounds_memory(self):
+        r = LatencyReservoir(capacity=128)
+        for v in range(100_000):
+            r.add(v)
+        assert len(r) < 128
+        assert r.count_seen == 100_000
+        # Still a sane estimate of the distribution.
+        assert r.percentile(50) == pytest.approx(50_000, rel=0.15)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LatencyReservoir(capacity=1)
+
+
+class TestSteadyState:
+    def test_uses_last_half(self):
+        pts = [
+            IntervalPoint(i, 0.0, dl, dl)
+            for i, dl in enumerate([1.0, 1.0, 3.0, 3.0])
+        ]
+        assert steady_state_dlwa(pts) == 3.0
+
+    def test_empty_series(self):
+        assert steady_state_dlwa([]) is None
+
+
+class TestReplayConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReplayConfig(think_ns=-1)
+        with pytest.raises(ValueError):
+            ReplayConfig(poll_interval_ops=0)
+        with pytest.raises(ValueError):
+            ReplayConfig(max_backlog_ns=-5)
+
+
+class TestRunner:
+    def test_build_experiment_fdp_wiring(self):
+        cache = build_experiment(fdp=True, utilization=0.5, scale=TINY_SCALE)
+        assert cache.device.fdp_enabled
+        assert not cache.soc.handle.is_default
+
+    def test_build_experiment_nonfdp_wiring(self):
+        cache = build_experiment(fdp=False, utilization=0.5, scale=TINY_SCALE)
+        assert not cache.device.fdp_enabled
+        assert cache.soc.handle.is_default
+
+    def test_utilization_controls_cache_size(self):
+        half = build_experiment(fdp=True, utilization=0.5, scale=TINY_SCALE)
+        full = build_experiment(fdp=True, utilization=1.0, scale=TINY_SCALE)
+        assert full.config.nvm_bytes > 1.9 * half.config.nvm_bytes
+
+    def test_soc_fraction_override(self):
+        big_soc = build_experiment(
+            fdp=True, utilization=1.0, soc_fraction=0.5, scale=TINY_SCALE
+        )
+        assert big_soc.config.soc_bytes > big_soc.config.nvm_bytes * 0.45
+
+    def test_dram_override(self):
+        cache = build_experiment(
+            fdp=True, utilization=0.5, dram_bytes=123 * 4096, scale=TINY_SCALE
+        )
+        assert cache.dram.capacity_bytes == 123 * 4096
+
+    def test_utilization_validation(self):
+        with pytest.raises(ValueError):
+            build_experiment(fdp=True, utilization=0.0, scale=TINY_SCALE)
+
+    def test_make_trace_unknown_workload(self):
+        with pytest.raises(ValueError):
+            make_trace("nope", 1 << 20, TINY_SCALE)
+
+    def test_make_trace_known_workloads(self):
+        for name in ("kvcache", "wo-kvcache", "twitter"):
+            t = make_trace(name, 1 << 22, TINY_SCALE, num_ops=1000)
+            assert len(t) == 1000
+
+
+class TestDriver:
+    def test_run_produces_consistent_result(self):
+        r = run_experiment(
+            "kvcache", fdp=True, utilization=0.5, scale=TINY_SCALE,
+            num_ops=20_000,
+        )
+        assert r.ops == 20_000
+        assert 0.0 <= r.hit_ratio <= 1.0
+        assert r.dlwa >= 1.0
+        assert r.sim_seconds > 0
+        assert r.throughput_kops > 0
+
+    def test_fill_on_miss_generates_flash_traffic(self):
+        cache = build_experiment(fdp=True, utilization=0.5, scale=TINY_SCALE)
+        trace = kv_cache_trace(20_000, 5_000)
+        result = CacheBench().run(cache, trace)
+        assert result.host_pages_written > 0
+
+    def test_no_fill_on_miss(self):
+        cache = build_experiment(fdp=True, utilization=0.5, scale=TINY_SCALE)
+        # GET-only trace with fill disabled -> no writes at all.
+        trace = kv_cache_trace(5_000, 1_000, get_fraction=1.0)
+        bench = CacheBench(ReplayConfig(fill_on_miss=False))
+        result = bench.run(cache, trace)
+        assert result.host_pages_written == 0
+
+    def test_interval_series_polled(self):
+        cache = build_experiment(fdp=True, utilization=0.5, scale=TINY_SCALE)
+        trace = kv_cache_trace(20_000, 5_000)
+        bench = CacheBench(ReplayConfig(poll_interval_ops=5_000))
+        result = bench.run(cache, trace)
+        assert len(result.interval_series) == 4
+        assert result.interval_series[-1].ops == 20_000
+
+    def test_progress_callback(self):
+        cache = build_experiment(fdp=True, utilization=0.5, scale=TINY_SCALE)
+        trace = kv_cache_trace(10_000, 2_000)
+        calls = []
+        CacheBench(ReplayConfig(poll_interval_ops=2_500)).run(
+            cache, trace, progress=lambda done, total: calls.append(done)
+        )
+        assert calls == [2500, 5000, 7500, 10000]
+
+    def test_deterministic_same_seed(self):
+        a = run_experiment(
+            "kvcache", fdp=True, utilization=0.5, scale=TINY_SCALE,
+            num_ops=15_000, seed=3,
+        )
+        b = run_experiment(
+            "kvcache", fdp=True, utilization=0.5, scale=TINY_SCALE,
+            num_ops=15_000, seed=3,
+        )
+        assert a.dlwa == b.dlwa
+        assert a.hit_ratio == b.hit_ratio
+        assert a.host_pages_written == b.host_pages_written
+
+    def test_summary_row_renders(self):
+        r = run_experiment(
+            "kvcache", fdp=False, utilization=0.5, scale=TINY_SCALE,
+            num_ops=10_000,
+        )
+        row = r.summary_row()
+        assert "DLWA" in row and "fdp=False" in row
+
+    def test_delete_ops_replayed(self):
+        import numpy as np
+
+        from repro.workloads import OP_DEL, OP_SET, Trace
+
+        cache = build_experiment(fdp=True, utilization=0.5, scale=TINY_SCALE)
+        ops = np.array([OP_SET, OP_DEL] * 500, dtype=np.uint8)
+        keys = np.repeat(np.arange(500, dtype=np.int64), 2)
+        sizes = np.full(1000, 300, dtype=np.int64)
+        CacheBench().run(cache, Trace(ops, keys, sizes))
+        assert cache.deletes == 500

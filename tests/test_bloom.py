@@ -1,0 +1,60 @@
+"""Unit tests for the per-bucket bloom filter."""
+
+from repro.cache import BloomFilter
+import pytest
+
+
+class TestBloomBasics:
+    def test_empty_contains_nothing(self):
+        bf = BloomFilter()
+        assert not bf.may_contain(42)
+
+    def test_no_false_negatives(self):
+        bf = BloomFilter(bits=64, hashes=4)
+        keys = list(range(1000, 1030))
+        for k in keys:
+            bf.add(k)
+        assert all(bf.may_contain(k) for k in keys)
+
+    def test_clear(self):
+        bf = BloomFilter()
+        bf.add(1)
+        bf.clear()
+        assert not bf.may_contain(1)
+
+    def test_rebuild_matches_fresh(self):
+        keys = [5, 9, 1_000_003]
+        a = BloomFilter()
+        a.rebuild(keys)
+        b = BloomFilter()
+        for k in keys:
+            b.add(k)
+        assert a._field == b._field
+
+    def test_rebuild_drops_old_keys_effect(self):
+        bf = BloomFilter(bits=256, hashes=4)
+        bf.add(123456789)
+        bf.rebuild([1])
+        # With a roomy filter the dropped key should no longer match.
+        assert not bf.may_contain(123456789)
+
+    def test_false_positive_rate_reasonable(self):
+        bf = BloomFilter(bits=128, hashes=4)
+        for k in range(8):  # typical bucket occupancy
+            bf.add(k)
+        false_hits = sum(
+            1 for k in range(10_000, 20_000) if bf.may_contain(k)
+        )
+        assert false_hits / 10_000 < 0.10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BloomFilter(bits=0)
+        with pytest.raises(ValueError):
+            BloomFilter(hashes=0)
+
+    def test_deterministic_across_instances(self):
+        a, b = BloomFilter(), BloomFilter()
+        a.add(777)
+        b.add(777)
+        assert a._field == b._field

@@ -1,0 +1,90 @@
+"""Unit tests for the FDP-aware device layer (handle -> PID -> DSPEC)."""
+
+import pytest
+
+from repro.core import FdpAwareDevice
+from repro.core.device_layer import DTYPE_DATA_PLACEMENT, DTYPE_NONE
+from repro.ssd import SimulatedSSD
+from repro.ssd.superblock import SuperblockState
+
+
+class TestDiscovery:
+    def test_discovers_fdp_pids(self, fdp_ssd):
+        layer = FdpAwareDevice(fdp_ssd)
+        assert layer.allocator.placement_enabled
+
+    def test_conventional_device_degrades(self, conventional_ssd):
+        layer = FdpAwareDevice(conventional_ssd)
+        assert not layer.allocator.placement_enabled
+        assert layer.allocator.allocate("soc").is_default
+
+    def test_placement_switch_off(self, fdp_ssd):
+        layer = FdpAwareDevice(fdp_ssd, enable_placement=False)
+        assert layer.allocator.allocate("soc").is_default
+
+
+class TestDirectiveEncoding:
+    def test_default_handle_encodes_no_directive(self, fdp_ssd):
+        layer = FdpAwareDevice(fdp_ssd)
+        dtype, dspec = layer._encode_directive(layer.allocator.default())
+        assert dtype == DTYPE_NONE and dspec is None
+
+    def test_bound_handle_roundtrips(self, fdp_ssd):
+        layer = FdpAwareDevice(fdp_ssd)
+        handle = layer.allocator.allocate("soc")
+        dtype, dspec = layer._encode_directive(handle)
+        assert dtype == DTYPE_DATA_PLACEMENT
+        assert layer._decode_directive(dtype, dspec) == handle.pid
+
+    def test_write_places_via_directive(self, fdp_ssd):
+        layer = FdpAwareDevice(fdp_ssd)
+        handle = layer.allocator.allocate("soc")
+        layer.write(0, 1, handle)
+        open_streams = {
+            sb.stream
+            for sb in fdp_ssd.ftl.superblocks
+            if sb.state is SuperblockState.OPEN
+        }
+        assert ("host", handle.pid.reclaim_group, handle.pid.ruh_id) in open_streams
+
+
+class TestAccounting:
+    def test_bytes_written_per_handle(self, fdp_ssd):
+        layer = FdpAwareDevice(fdp_ssd)
+        soc = layer.allocator.allocate("soc")
+        loc = layer.allocator.allocate("loc")
+        layer.write(0, 1, soc)
+        layer.write(10, 4, loc)
+        page = fdp_ssd.page_size
+        assert layer.writes_by_handle["soc"] == page
+        assert layer.writes_by_handle["loc"] == 4 * page
+        assert layer.bytes_written == 5 * page
+
+    def test_read_accounting(self, fdp_ssd):
+        layer = FdpAwareDevice(fdp_ssd)
+        layer.write(0, 2, layer.allocator.default())
+        mapped, _ = layer.read(0, 2)
+        assert mapped
+        assert layer.bytes_read == 2 * fdp_ssd.page_size
+
+    def test_deallocate_passthrough(self, fdp_ssd):
+        layer = FdpAwareDevice(fdp_ssd)
+        layer.write(0, 4, layer.allocator.default())
+        assert layer.deallocate(0, 4) == 4
+
+
+class TestQueues:
+    def test_queue_per_worker(self, fdp_ssd):
+        layer = FdpAwareDevice(fdp_ssd)
+        q0 = layer.queue("worker-0")
+        q1 = layer.queue("worker-1")
+        assert q0 is not q1
+        assert layer.queue("worker-0") is q0
+
+    def test_submission_completion_balance(self, fdp_ssd):
+        layer = FdpAwareDevice(fdp_ssd)
+        layer.write(0, 1, layer.allocator.default(), worker="w")
+        layer.read(0, 1, worker="w")
+        q = layer.queue("w")
+        assert q.submitted == q.completed == 2
+        assert q.in_flight == 0

@@ -1,0 +1,103 @@
+"""Unit tests for the DRAM LRU cache."""
+
+import pytest
+
+from repro.cache import CacheItem, DramCache
+from repro.cache.dram import DRAM_ITEM_OVERHEAD
+
+
+def make(capacity_items=10, item_size=100):
+    cap = capacity_items * (item_size + DRAM_ITEM_OVERHEAD)
+    return DramCache(cap), item_size
+
+
+class TestBasics:
+    def test_get_miss(self):
+        cache, _ = make()
+        assert cache.get(1) is None
+        assert cache.misses == 1
+
+    def test_set_then_get(self):
+        cache, size = make()
+        cache.set(CacheItem(1, size))
+        item = cache.get(1)
+        assert item == CacheItem(1, size)
+        assert cache.hits == 1
+
+    def test_overwrite_updates_size(self):
+        cache, _ = make()
+        cache.set(CacheItem(1, 100))
+        cache.set(CacheItem(1, 50))
+        assert cache.get(1).size == 50
+        assert len(cache) == 1
+
+    def test_delete(self):
+        cache, size = make()
+        cache.set(CacheItem(1, size))
+        assert cache.delete(1)
+        assert not cache.delete(1)
+        assert cache.get(1) is None
+
+    def test_contains(self):
+        cache, size = make()
+        cache.set(CacheItem(9, size))
+        assert 9 in cache
+        assert 10 not in cache
+
+    def test_peek_does_not_promote_or_count(self):
+        cache, size = make(capacity_items=2)
+        cache.set(CacheItem(1, size))
+        cache.set(CacheItem(2, size))
+        cache.peek(1)
+        cache.set(CacheItem(3, size))  # evicts LRU
+        assert cache.get(1) is None  # peek did not promote 1
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            DramCache(0)
+
+
+class TestEviction:
+    def test_lru_order(self):
+        cache, size = make(capacity_items=3)
+        for k in (1, 2, 3):
+            cache.set(CacheItem(k, size))
+        cache.get(1)  # promote 1
+        evicted = cache.set(CacheItem(4, size))
+        assert [e.key for e in evicted] == [2]
+
+    def test_eviction_returns_items(self):
+        cache, size = make(capacity_items=2)
+        cache.set(CacheItem(1, size))
+        cache.set(CacheItem(2, size))
+        evicted = cache.set(CacheItem(3, size))
+        assert evicted and evicted[0].key == 1
+
+    def test_used_bytes_tracks(self):
+        cache, size = make(capacity_items=4)
+        for k in range(4):
+            cache.set(CacheItem(k, size))
+        assert cache.used_bytes == 4 * (size + DRAM_ITEM_OVERHEAD)
+        cache.delete(0)
+        assert cache.used_bytes == 3 * (size + DRAM_ITEM_OVERHEAD)
+
+    def test_oversized_item_bypasses(self):
+        cache = DramCache(1000)
+        big = CacheItem(1, 5000)
+        evicted = cache.set(big)
+        assert evicted == [big]
+        assert 1 not in cache
+
+    def test_multi_eviction_for_large_insert(self):
+        cache = DramCache(10 * (100 + DRAM_ITEM_OVERHEAD))
+        for k in range(10):
+            cache.set(CacheItem(k, 100))
+        evicted = cache.set(CacheItem(99, 500))
+        assert len(evicted) >= 4
+
+    def test_hit_ratio(self):
+        cache, size = make()
+        cache.set(CacheItem(1, size))
+        cache.get(1)
+        cache.get(2)
+        assert cache.hit_ratio == 0.5

@@ -1,0 +1,200 @@
+"""Failure-injection and edge-condition tests across the stack."""
+
+import pytest
+
+from repro.cache import CacheConfig, CacheItem, HybridCache
+from repro.core import FdpAwareDevice
+from repro.fdp import PlacementIdentifier
+from repro.ssd import (
+    DeviceFullError,
+    Geometry,
+    InvalidPlacementError,
+    SimulatedSSD,
+)
+
+
+class TestDeviceExhaustion:
+    def test_zero_op_device_fills_and_raises(self):
+        g = Geometry(
+            pages_per_block=4,
+            planes_per_die=1,
+            dies=1,
+            num_superblocks=8,
+            op_fraction=0.0,
+        )
+        dev = SimulatedSSD(g, gc_reserve_superblocks=2)
+        with pytest.raises(DeviceFullError):
+            for _ in range(5):
+                for lba in range(dev.capacity_pages):
+                    dev.write(lba)
+
+    def test_device_stays_consistent_after_full_error(self):
+        g = Geometry(
+            pages_per_block=4,
+            planes_per_die=1,
+            dies=1,
+            num_superblocks=8,
+            op_fraction=0.0,
+        )
+        dev = SimulatedSSD(g, gc_reserve_superblocks=2)
+        try:
+            for _ in range(5):
+                for lba in range(dev.capacity_pages):
+                    dev.write(lba)
+        except DeviceFullError:
+            pass
+        # Reads still answer and the mapping is still coherent.
+        dev.check_invariants()
+        mapped, _ = dev.read(0)
+        assert isinstance(mapped, bool)
+
+    def test_trim_recovers_full_device(self):
+        g = Geometry(
+            pages_per_block=4,
+            planes_per_die=1,
+            dies=1,
+            num_superblocks=8,
+            op_fraction=0.0,
+        )
+        dev = SimulatedSSD(g, gc_reserve_superblocks=2)
+        try:
+            for _ in range(5):
+                for lba in range(dev.capacity_pages):
+                    dev.write(lba)
+        except DeviceFullError:
+            pass
+        dev.deallocate(0, dev.capacity_pages)
+        # After a full TRIM, writes proceed again.
+        for lba in range(dev.capacity_pages // 2):
+            dev.write(lba)
+        dev.check_invariants()
+
+
+class TestBadPlacement:
+    def test_invalid_pid_does_not_corrupt_state(self, fdp_ssd):
+        fdp_ssd.write(0)
+        with pytest.raises(InvalidPlacementError):
+            fdp_ssd.write(1, pid=PlacementIdentifier(0, 42))
+        fdp_ssd.check_invariants()
+        # LBA 1 was never written.
+        mapped, _ = fdp_ssd.read(1)
+        assert not mapped
+
+    def test_cache_survives_allocator_exhaustion(self, small_geometry):
+        # Device with only 2 RUHs: after the reserve, one bindable PID.
+        from repro.fdp import default_configuration
+
+        config = default_configuration(
+            small_geometry.superblock_bytes, num_ruhs=2
+        )
+        device = SimulatedSSD(small_geometry, fdp=config)
+        cache = HybridCache(
+            device,
+            CacheConfig(
+                dram_bytes=64 * 1024,
+                soc_bytes=64 * 4096,
+                loc_bytes=1024 * 1024,
+                region_bytes=32 * 1024,
+            ),
+        )
+        # SOC got the one real handle; LOC fell back to default.
+        assert not cache.soc.handle.is_default
+        assert cache.loc.handle.is_default
+        assert cache.io.allocator.exhausted_allocations == 1
+        for k in range(500):
+            cache.set(k, 500)
+        device.check_invariants()
+
+
+class TestCacheEdgeCases:
+    @pytest.fixture
+    def cache(self, fdp_ssd):
+        return HybridCache(
+            fdp_ssd,
+            CacheConfig(
+                dram_bytes=64 * 1024,
+                soc_bytes=64 * 4096,
+                loc_bytes=2 * 1024 * 1024,
+                region_bytes=32 * 1024,
+            ),
+        )
+
+    def test_item_bigger_than_region_is_dropped(self, cache):
+        huge = cache.loc.region_bytes + 5000
+        cache.set(1, huge)
+        for k in range(2, 100):
+            cache.set(k, 500)
+        # The oversized item silently fails flash admission (too big
+        # for any engine), as in CacheLib.
+        assert not cache.loc.contains(1)
+        assert not cache.soc.contains(1)
+
+    def test_item_at_soc_threshold_boundary(self, cache):
+        threshold = cache.config.small_item_threshold
+        cache.set(1, threshold)      # exactly small
+        cache.set(2, threshold + 1)  # just large
+        for k in range(3, 200):
+            cache.set(k, 500)
+        assert cache.soc.contains(1)
+        assert cache.loc.contains(2)
+
+    def test_zero_size_item_rejected(self, cache):
+        with pytest.raises(ValueError):
+            cache.set(1, 0)
+
+    def test_delete_of_absent_key(self, cache):
+        cache.delete(424242)  # must not raise
+        assert cache.deletes == 1
+
+    def test_get_after_massive_churn_remains_consistent(self, cache):
+        for round_ in range(3):
+            for k in range(600):
+                cache.set(k + round_ * 300, 700)
+        cache.device.check_invariants()
+        found = sum(
+            1 for k in range(1200) if cache.get(k).hit
+        )
+        assert found > 0
+
+    def test_same_key_alternating_sizes(self, cache):
+        # A key that flips between small and large must never be
+        # resident in both engines at once.
+        for i in range(40):
+            size = 500 if i % 2 == 0 else 8000
+            cache.set(1, size)
+            for k in range(100, 160):
+                cache.set(k, 600)
+            in_soc = cache.soc.contains(1)
+            in_loc = cache.loc.contains(1)
+            assert not (in_soc and in_loc)
+
+
+class TestDeterminism:
+    def test_full_stack_is_deterministic(self, small_geometry):
+        def run():
+            device = SimulatedSSD(small_geometry, fdp=True)
+            cache = HybridCache(
+                device,
+                CacheConfig(
+                    dram_bytes=64 * 1024,
+                    soc_bytes=64 * 4096,
+                    loc_bytes=2 * 1024 * 1024,
+                    region_bytes=32 * 1024,
+                ),
+            )
+            import random
+
+            rng = random.Random(11)
+            for _ in range(4000):
+                k = rng.randrange(2000)
+                if rng.random() < 0.5:
+                    cache.get(k)
+                else:
+                    cache.set(k, rng.choice((300, 700, 9000)))
+            return (
+                device.stats.host_pages_written,
+                device.stats.nand_pages_written,
+                cache.hit_ratio,
+            )
+
+        assert run() == run()

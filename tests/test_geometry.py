@@ -1,0 +1,111 @@
+"""Unit tests for repro.ssd.geometry."""
+
+import pytest
+
+from repro.ssd import GIB, KIB, MIB, Geometry
+
+
+class TestDerivedQuantities:
+    def test_pages_per_superblock(self):
+        g = Geometry(pages_per_block=64, planes_per_die=2, dies=4)
+        assert g.blocks_per_superblock == 8
+        assert g.pages_per_superblock == 512
+
+    def test_superblock_bytes(self):
+        g = Geometry(page_size=4 * KIB, pages_per_block=64, planes_per_die=2, dies=2)
+        assert g.superblock_bytes == 64 * 4 * 4 * KIB
+
+    def test_total_pages(self):
+        g = Geometry(pages_per_block=16, planes_per_die=2, dies=2, num_superblocks=10)
+        assert g.total_pages == 10 * 64
+
+    def test_physical_bytes(self):
+        g = Geometry(page_size=4096, pages_per_block=16, num_superblocks=16)
+        assert g.physical_bytes == g.total_pages * 4096
+
+    def test_logical_smaller_than_physical(self):
+        g = Geometry(op_fraction=0.07)
+        assert g.logical_pages < g.total_pages
+
+    def test_logical_pages_exact_op(self):
+        g = Geometry(pages_per_block=16, num_superblocks=100, op_fraction=0.25)
+        assert g.logical_pages == int(g.total_pages * 0.75)
+
+    def test_op_pages_complement(self):
+        g = Geometry(op_fraction=0.2)
+        assert g.op_pages + g.logical_pages == g.total_pages
+
+    def test_zero_op_means_logical_equals_physical(self):
+        g = Geometry(op_fraction=0.0)
+        assert g.logical_pages == g.total_pages
+
+
+class TestValidation:
+    def test_rejects_bad_page_size(self):
+        with pytest.raises(ValueError):
+            Geometry(page_size=0)
+
+    def test_rejects_bad_pages_per_block(self):
+        with pytest.raises(ValueError):
+            Geometry(pages_per_block=-1)
+
+    def test_rejects_bad_parallelism(self):
+        with pytest.raises(ValueError):
+            Geometry(planes_per_die=0)
+        with pytest.raises(ValueError):
+            Geometry(dies=0)
+
+    def test_rejects_too_few_superblocks(self):
+        with pytest.raises(ValueError):
+            Geometry(num_superblocks=3)
+
+    def test_rejects_op_out_of_range(self):
+        with pytest.raises(ValueError):
+            Geometry(op_fraction=1.0)
+        with pytest.raises(ValueError):
+            Geometry(op_fraction=-0.1)
+
+
+class TestHelpers:
+    def test_lba_for_byte(self):
+        g = Geometry(page_size=4096)
+        assert g.lba_for_byte(0) == 0
+        assert g.lba_for_byte(4095) == 0
+        assert g.lba_for_byte(4096) == 1
+
+    def test_lba_for_byte_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Geometry().lba_for_byte(-1)
+
+    def test_pages_for_bytes_rounds_up(self):
+        g = Geometry(page_size=4096)
+        assert g.pages_for_bytes(0) == 0
+        assert g.pages_for_bytes(1) == 1
+        assert g.pages_for_bytes(4096) == 1
+        assert g.pages_for_bytes(4097) == 2
+
+    def test_pages_for_bytes_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Geometry().pages_for_bytes(-5)
+
+
+class TestFromCapacity:
+    def test_builds_requested_capacity(self):
+        g = Geometry.from_capacity(64 * MIB, superblock_bytes=1 * MIB)
+        assert g.physical_bytes == 64 * MIB
+        assert g.superblock_bytes == 1 * MIB
+
+    def test_respects_op_fraction(self):
+        g = Geometry.from_capacity(64 * MIB, superblock_bytes=1 * MIB, op_fraction=0.25)
+        assert g.logical_pages == int(g.total_pages * 0.75)
+
+    def test_rejects_misaligned_superblock(self):
+        with pytest.raises(ValueError):
+            Geometry.from_capacity(64 * MIB, superblock_bytes=MIB + 1)
+
+    def test_rejects_tiny_capacity(self):
+        with pytest.raises(ValueError):
+            Geometry.from_capacity(2 * MIB, superblock_bytes=1 * MIB)
+
+    def test_gib_constant(self):
+        assert GIB == 1024 * MIB == 1024 * 1024 * KIB

@@ -1,0 +1,159 @@
+"""End-to-end integration tests asserting the paper's headline claims
+at reduced scale.
+
+These are miniature versions of the evaluation experiments: each runs
+both arms (FDP vs. Non-FDP) through the full stack — workload ->
+hybrid cache -> placement layer -> simulated SSD — and asserts the
+*relationships* the paper reports, not absolute values.
+"""
+
+import pytest
+
+from repro.bench import ReplayConfig, Scale, build_experiment, make_trace, run_experiment
+from repro.bench.driver import CacheBench
+
+# Small enough to run in seconds, big enough to exercise GC.
+SCALE = Scale(num_superblocks=256, num_ops=250_000)
+HEAVY_OPS = 250_000
+
+
+@pytest.fixture(scope="module")
+def quadrant():
+    """KV Cache at 50% and 100% utilization, both arms (module-cached)."""
+    results = {}
+    for util in (0.5, 1.0):
+        for fdp in (False, True):
+            results[(util, fdp)] = run_experiment(
+                "kvcache",
+                fdp=fdp,
+                utilization=util,
+                num_ops=HEAVY_OPS,
+                scale=SCALE,
+            )
+    return results
+
+
+class TestSection62DlwaOfOne:
+    """§6.2: FDP-based segregation achieves a DLWA of ~1."""
+
+    def test_fdp_dlwa_near_one_at_half_utilization(self, quadrant):
+        assert quadrant[(0.5, True)].dlwa < 1.05
+
+    def test_fdp_dlwa_near_one_at_full_utilization(self, quadrant):
+        assert quadrant[(1.0, True)].dlwa < 1.10
+
+    def test_fdp_beats_non_fdp(self, quadrant):
+        for util in (0.5, 1.0):
+            assert (
+                quadrant[(util, True)].dlwa < quadrant[(util, False)].dlwa
+            )
+
+
+class TestSection63UtilizationSweep:
+    """§6.3: utilization hurts Non-FDP, not FDP; other metrics stable."""
+
+    def test_non_fdp_dlwa_grows_with_utilization(self, quadrant):
+        assert (
+            quadrant[(1.0, False)].steady_dlwa
+            > quadrant[(0.5, False)].steady_dlwa
+        )
+
+    def test_fdp_dlwa_flat_across_utilization(self, quadrant):
+        delta = abs(
+            quadrant[(1.0, True)].steady_dlwa
+            - quadrant[(0.5, True)].steady_dlwa
+        )
+        assert delta < 0.15
+
+    def test_hit_ratios_unaffected_by_fdp(self, quadrant):
+        for util in (0.5, 1.0):
+            a, b = quadrant[(util, True)], quadrant[(util, False)]
+            assert a.hit_ratio == pytest.approx(b.hit_ratio, abs=0.01)
+            assert a.nvm_hit_ratio == pytest.approx(b.nvm_hit_ratio, abs=0.01)
+
+    def test_alwa_unchanged_by_fdp(self, quadrant):
+        # §6.3: "we did not expect to see any change in the ALWA".
+        for util in (0.5, 1.0):
+            assert quadrant[(util, True)].alwa == pytest.approx(
+                quadrant[(util, False)].alwa, rel=0.02
+            )
+
+    def test_fdp_p99_no_worse_at_full_utilization(self, quadrant):
+        assert (
+            quadrant[(1.0, True)].p99_read_us
+            <= quadrant[(1.0, False)].p99_read_us * 1.05
+        )
+
+
+class TestSection64WriteIntensiveWorkloads:
+    """§6.4: the DLWA gains hold for Twitter and WO KV Cache."""
+
+    @pytest.mark.parametrize("workload", ["twitter", "wo-kvcache"])
+    def test_fdp_near_one_and_better(self, workload):
+        fdp = run_experiment(
+            workload, fdp=True, utilization=1.0, num_ops=HEAVY_OPS,
+            scale=SCALE,
+        )
+        non = run_experiment(
+            workload, fdp=False, utilization=1.0, num_ops=HEAVY_OPS,
+            scale=SCALE,
+        )
+        assert fdp.dlwa < 1.25
+        assert fdp.dlwa < non.dlwa
+
+
+class TestSection66GcEvents:
+    """§6.6 / Fig. 10b: far fewer GC relocations under FDP."""
+
+    def test_relocation_events_reduced(self, quadrant):
+        non = quadrant[(1.0, False)].gc_relocation_events
+        fdp = quadrant[(1.0, True)].gc_relocation_events
+        assert non > 2 * max(1, fdp)
+
+    def test_energy_not_higher_under_fdp(self, quadrant):
+        assert (
+            quadrant[(1.0, True)].energy_kwh
+            <= quadrant[(1.0, False)].energy_kwh * 1.02
+        )
+
+
+class TestSection67MultiTenant:
+    """§6.7 / Fig. 11: two tenants on one SSD, each segregated."""
+
+    def test_multi_tenant_fdp_dlwa_near_one(self):
+        from repro.cache import CacheConfig, HybridCache
+        from repro.core import FdpAwareDevice
+        from repro.ssd import SimulatedSSD
+
+        geometry = SCALE.geometry()
+        for fdp in (True, False):
+            device = SimulatedSSD(geometry, fdp=fdp)
+            io = FdpAwareDevice(device, enable_placement=fdp)
+            half = geometry.logical_bytes // 2 - 64 * geometry.page_size
+            tenants = []
+            base = 0
+            for t in range(2):
+                cfg = CacheConfig.for_flash_cache(
+                    half,
+                    page_size=geometry.page_size,
+                    soc_fraction=0.04,
+                    region_bytes=SCALE.region_bytes,
+                    name=f"tenant-{t}",
+                    base_lba=base,
+                    enable_fdp_placement=fdp,
+                )
+                cache = HybridCache(io=io, config=cfg)
+                base = cache._layout_end_lba
+                tenants.append(cache)
+            bench = CacheBench(ReplayConfig())
+            for t, cache in enumerate(tenants):
+                trace = make_trace(
+                    "wo-kvcache", cfg.nvm_bytes, SCALE,
+                    num_ops=120_000, seed=10 + t,
+                )
+                bench.run(cache, trace)
+            if fdp:
+                assert device.dlwa < 1.15
+                fdp_dlwa = device.dlwa
+            else:
+                assert device.dlwa > fdp_dlwa

@@ -1,0 +1,115 @@
+"""Unit tests for the latency and energy models."""
+
+import pytest
+
+from repro.ssd import EnergyCosts, EnergyModel, LatencyModel, NandTimings
+
+
+class TestLatencyModel:
+    def test_idle_device_serves_immediately(self):
+        m = LatencyModel(NandTimings(read_ns=100, transfer_ns=0))
+        assert m.host_read(1000) == 1100
+
+    def test_busy_device_queues(self):
+        m = LatencyModel(NandTimings(read_ns=100, program_ns=500, transfer_ns=0))
+        first = m.host_write(0)
+        assert first == 500
+        # A read arriving at t=0 waits for the write to finish.
+        assert m.host_read(0) == 600
+
+    def test_gc_migration_occupies_timeline(self):
+        t = NandTimings(
+            read_ns=100, program_ns=500, transfer_ns=0, parallelism=1
+        )
+        m = LatencyModel(t)
+        m.gc_migrate(0, npages=3)
+        assert m.busy_until == 3 * 600
+        # Host op queues behind the migration burst.
+        assert m.host_read(0) == 3 * 600 + 100
+
+    def test_gc_migration_stripes_across_parallelism(self):
+        t = NandTimings(
+            read_ns=100, program_ns=500, transfer_ns=0, parallelism=4
+        )
+        m = LatencyModel(t)
+        m.gc_migrate(0, npages=8)
+        assert m.busy_until == 8 * 600 // 4
+
+    def test_striping_floors_at_one_page(self):
+        t = NandTimings(read_ns=100, transfer_ns=0, parallelism=16)
+        m = LatencyModel(t)
+        assert m.host_read(0, npages=2) == 100  # never below 1 page
+
+    def test_parallelism_validation(self):
+        with pytest.raises(ValueError):
+            NandTimings(parallelism=0)
+
+    def test_gc_migrate_zero_pages_is_noop(self):
+        m = LatencyModel()
+        before = m.busy_until
+        m.gc_migrate(0, 0)
+        assert m.busy_until == before
+
+    def test_erase_occupies_timeline(self):
+        t = NandTimings(erase_ns=1000)
+        m = LatencyModel(t)
+        assert m.erase(0) == 1000
+
+    def test_multi_page_host_ops_scale(self):
+        t = NandTimings(program_ns=100, transfer_ns=10, parallelism=1)
+        m = LatencyModel(t)
+        assert m.host_write(0, npages=4) == 4 * 110
+
+    def test_busy_total_accumulates(self):
+        t = NandTimings(read_ns=100, transfer_ns=0)
+        m = LatencyModel(t)
+        m.host_read(0)
+        m.host_read(10_000)  # idle gap does not count as busy
+        assert m.busy_ns_total == 200
+
+    def test_reset(self):
+        m = LatencyModel()
+        m.host_write(0)
+        m.reset()
+        assert m.busy_until == 0
+        assert m.busy_ns_total == 0
+
+    def test_rejects_negative_timings(self):
+        with pytest.raises(ValueError):
+            NandTimings(read_ns=-1)
+
+
+class TestEnergyModel:
+    def test_active_energy_sums_ops(self):
+        costs = EnergyCosts(read_uj=1.0, program_uj=2.0, erase_uj=10.0, idle_watts=0.0)
+        m = EnergyModel(costs)
+        m.add_reads(3)
+        m.add_programs(2)
+        m.add_erases(1)
+        assert m.active_energy_j() == pytest.approx((3 + 4 + 10) * 1e-6)
+
+    def test_idle_energy(self):
+        costs = EnergyCosts(idle_watts=2.0)
+        m = EnergyModel(costs)
+        # 1 second total, 0.25 s busy -> 0.75 s idle at 2 W = 1.5 J.
+        assert m.idle_energy_j(1_000_000_000, 250_000_000) == pytest.approx(1.5)
+
+    def test_idle_energy_clamps_negative(self):
+        m = EnergyModel(EnergyCosts(idle_watts=1.0))
+        assert m.idle_energy_j(100, 500) == 0.0
+
+    def test_total_energy_kwh_conversion(self):
+        costs = EnergyCosts(read_uj=0, program_uj=0, erase_uj=0, idle_watts=3.6)
+        m = EnergyModel(costs)
+        # 1000 seconds idle at 3.6 W = 3600 J = 0.001 kWh.
+        assert m.total_energy_kwh(1_000_000_000_000, 0) == pytest.approx(0.001)
+
+    def test_reset(self):
+        m = EnergyModel()
+        m.add_reads(5)
+        m.reset()
+        assert m.active_energy_j() == 0.0
+
+    def test_rejects_negative_costs(self):
+        with pytest.raises(ValueError):
+            EnergyCosts(program_uj=-1)

@@ -1,0 +1,153 @@
+"""Unit tests for namespace management."""
+
+import pytest
+
+from repro.fdp import PlacementIdentifier
+from repro.ssd import (
+    InvalidPlacementError,
+    NamespaceError,
+    NamespaceManager,
+    OutOfRangeError,
+    SimulatedSSD,
+)
+
+
+@pytest.fixture
+def manager(fdp_ssd):
+    return NamespaceManager(fdp_ssd)
+
+
+class TestCreation:
+    def test_create_and_list(self, manager):
+        a = manager.create(100)
+        b = manager.create(200)
+        assert [ns.nsid for ns in manager.list()] == [a.nsid, b.nsid]
+        assert len(manager) == 2
+
+    def test_first_fit_allocation(self, manager):
+        a = manager.create(100)
+        b = manager.create(100)
+        assert b.base_lba == a.base_lba + 100
+
+    def test_capacity_limit(self, manager, fdp_ssd):
+        manager.create(fdp_ssd.capacity_pages)
+        with pytest.raises(NamespaceError):
+            manager.create(1)
+
+    def test_delete_frees_extent(self, manager, fdp_ssd):
+        a = manager.create(fdp_ssd.capacity_pages // 2)
+        manager.create(fdp_ssd.capacity_pages // 2)
+        manager.delete(a.nsid)
+        again = manager.create(fdp_ssd.capacity_pages // 2)
+        assert again.base_lba == 0
+
+    def test_delete_trims_data(self, manager, fdp_ssd):
+        ns = manager.create(50)
+        ns.write(0, 10)
+        assert fdp_ssd.ftl.valid_page_total() == 10
+        manager.delete(ns.nsid)
+        assert fdp_ssd.ftl.valid_page_total() == 0
+
+    def test_size_validation(self, manager):
+        with pytest.raises(NamespaceError):
+            manager.create(0)
+
+    def test_get_unknown(self, manager):
+        with pytest.raises(NamespaceError):
+            manager.get(99)
+
+
+class TestRuhAttachment:
+    def test_default_attaches_all_ruhs(self, manager, fdp_ssd):
+        ns = manager.create(100)
+        assert len(ns.placement_identifiers()) == fdp_ssd.fdp_config.num_ruhs
+
+    def test_explicit_ruh_list(self, manager):
+        ns = manager.create(100, ruh_ids=[1, 2])
+        pids = ns.placement_identifiers()
+        assert {p.ruh_id for p in pids} == {1, 2}
+
+    def test_write_with_allowed_ruh(self, manager):
+        ns = manager.create(100, ruh_ids=[1])
+        ns.write(0, pid=PlacementIdentifier(0, 1))
+
+    def test_write_with_forbidden_ruh(self, manager):
+        ns = manager.create(100, ruh_ids=[1])
+        with pytest.raises(InvalidPlacementError):
+            ns.write(0, pid=PlacementIdentifier(0, 2))
+
+    def test_write_without_directive_allowed(self, manager):
+        ns = manager.create(100, ruh_ids=[1])
+        ns.write(0)  # routes to the default RUH
+
+    def test_unknown_ruh_rejected(self, manager):
+        with pytest.raises(NamespaceError):
+            manager.create(10, ruh_ids=[99])
+
+    def test_duplicate_ruh_rejected(self, manager):
+        with pytest.raises(NamespaceError):
+            manager.create(10, ruh_ids=[1, 1])
+
+    def test_ruhs_on_conventional_device_rejected(self, conventional_ssd):
+        manager = NamespaceManager(conventional_ssd)
+        with pytest.raises(NamespaceError):
+            manager.create(10, ruh_ids=[0])
+        ns = manager.create(10)
+        assert ns.placement_identifiers() == []
+
+
+class TestNamespaceIo:
+    def test_lba_translation(self, manager, fdp_ssd):
+        a = manager.create(100)
+        b = manager.create(100)
+        a.write(5)
+        b.write(5)
+        # Same namespace-relative LBA, different device LBAs.
+        assert fdp_ssd.ftl.valid_page_total() == 2
+        mapped, _ = b.read(5)
+        assert mapped
+
+    def test_range_enforced(self, manager):
+        ns = manager.create(10)
+        with pytest.raises(OutOfRangeError):
+            ns.write(10)
+        with pytest.raises(OutOfRangeError):
+            ns.read(5, npages=6)
+        with pytest.raises(OutOfRangeError):
+            ns.write(-1)
+
+    def test_deallocate_inside_namespace(self, manager):
+        ns = manager.create(20)
+        ns.write(0, 5)
+        assert ns.deallocate(0, 5) == 5
+        mapped, _ = ns.read(0)
+        assert not mapped
+
+    def test_deleted_namespace_rejects_io(self, manager):
+        ns = manager.create(10)
+        manager.delete(ns.nsid)
+        with pytest.raises(NamespaceError):
+            ns.write(0)
+
+    def test_capacity_bytes(self, manager, fdp_ssd):
+        ns = manager.create(16)
+        assert ns.capacity_bytes == 16 * fdp_ssd.page_size
+
+
+class TestIsolationAcrossNamespaces:
+    def test_two_namespaces_different_ruhs_segregate(self, fdp_ssd):
+        manager = NamespaceManager(fdp_ssd)
+        half = fdp_ssd.capacity_pages // 2
+        a = manager.create(half, ruh_ids=[1])
+        b = manager.create(half, ruh_ids=[2])
+        import random
+
+        rng = random.Random(5)
+        pid_a, pid_b = PlacementIdentifier(0, 1), PlacementIdentifier(0, 2)
+        pos = 0
+        for _ in range(6 * half):
+            a.write(rng.randrange(half // 4), pid=pid_a)  # hot tenant
+            b.write(pos, pid=pid_b)  # sequential tenant
+            pos = (pos + 1) % half
+        fdp_ssd.check_invariants()
+        assert fdp_ssd.dlwa < 1.6

@@ -1,0 +1,59 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.bench import ascii_chart, dlwa_timeline_chart
+from repro.bench.metrics import IntervalPoint
+
+
+class TestAsciiChart:
+    def test_renders_axes_and_legend(self):
+        chart = ascii_chart(
+            {"a": [(0, 1.0), (10, 2.0)]}, width=20, height=6, y_label="DLWA"
+        )
+        lines = chart.splitlines()
+        assert "2.00" in lines[0]
+        assert any("1.00" in line for line in lines)
+        assert "DLWA: *=a" in lines[-1]
+
+    def test_two_series_distinct_markers(self):
+        chart = ascii_chart(
+            {"non": [(0, 3.0), (1, 3.0)], "fdp": [(0, 1.0), (1, 1.0)]},
+            width=16,
+            height=6,
+        )
+        assert "*" in chart and "o" in chart
+        assert "*=non" in chart and "o=fdp" in chart
+
+    def test_high_series_plots_above_low(self):
+        chart = ascii_chart(
+            {"hi": [(0, 10.0)], "lo": [(0, 0.0)]}, width=10, height=8
+        )
+        lines = chart.splitlines()
+        hi_row = next(i for i, l in enumerate(lines) if "*" in l)
+        lo_row = next(i for i, l in enumerate(lines) if "o" in l)
+        assert hi_row < lo_row
+
+    def test_flat_series_does_not_crash(self):
+        chart = ascii_chart({"flat": [(0, 1.0), (5, 1.0)]}, width=10, height=4)
+        assert "*" in chart
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_chart({})
+        with pytest.raises(ValueError):
+            ascii_chart({"a": []})
+        with pytest.raises(ValueError):
+            ascii_chart({"a": [(0, 1)]}, width=2, height=2)
+
+
+class TestDlwaTimeline:
+    def test_from_interval_points(self):
+        pts = [
+            IntervalPoint(ops=i * 1000, host_gib_written=0.0,
+                          interval_dlwa=1.0 + i * 0.1, cumulative_dlwa=1.0)
+            for i in range(10)
+        ]
+        chart = dlwa_timeline_chart({"Non-FDP": pts})
+        assert "interval DLWA" in chart
+        assert "1.90" in chart

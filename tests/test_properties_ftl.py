@@ -1,0 +1,124 @@
+"""Property-based tests for the FTL's core invariants."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.fdp import PlacementIdentifier
+from repro.ssd import Geometry, SimulatedSSD
+
+SMALL_GEOMETRY = Geometry(
+    page_size=4096,
+    pages_per_block=4,
+    planes_per_die=2,
+    dies=2,
+    num_superblocks=48,
+    op_fraction=0.15,
+)
+N_LBAS = SMALL_GEOMETRY.logical_pages
+
+# One trace step: (op, lba, ruh) with op in {write, trim, read}.
+step = st.tuples(
+    st.sampled_from(["write", "trim", "read"]),
+    st.integers(min_value=0, max_value=N_LBAS - 1),
+    st.integers(min_value=0, max_value=3),
+)
+
+common = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def replay(device, trace, use_pid):
+    shadow = {}
+    for op, lba, ruh in trace:
+        if op == "write":
+            pid = PlacementIdentifier(0, ruh) if use_pid else None
+            device.write(lba, pid=pid)
+            shadow[lba] = True
+        elif op == "trim":
+            device.deallocate(lba)
+            shadow.pop(lba, None)
+        else:
+            mapped, _ = device.read(lba)
+            assert mapped == (lba in shadow)
+    return shadow
+
+
+class TestMappingConsistency:
+    @given(trace=st.lists(step, max_size=300))
+    @common
+    def test_conventional_matches_shadow_model(self, trace):
+        device = SimulatedSSD(SMALL_GEOMETRY)
+        shadow = replay(device, trace, use_pid=False)
+        device.check_invariants()
+        assert device.ftl.valid_page_total() == len(shadow)
+        for lba in range(N_LBAS):
+            mapped, _ = device.read(lba)
+            assert mapped == (lba in shadow)
+
+    @given(trace=st.lists(step, max_size=300))
+    @common
+    def test_fdp_matches_shadow_model(self, trace):
+        device = SimulatedSSD(SMALL_GEOMETRY, fdp=True)
+        shadow = replay(device, trace, use_pid=True)
+        device.check_invariants()
+        assert device.ftl.valid_page_total() == len(shadow)
+
+    @given(
+        trace=st.lists(step, max_size=300),
+        heavy=st.lists(
+            st.integers(min_value=0, max_value=N_LBAS - 1),
+            min_size=200,
+            max_size=600,
+        ),
+    )
+    @common
+    def test_invariants_survive_gc_pressure(self, trace, heavy):
+        device = SimulatedSSD(SMALL_GEOMETRY, fdp=True)
+        replay(device, trace, use_pid=True)
+        # Extra write pressure to force GC repeatedly.
+        for lba in heavy:
+            device.write(lba, pid=PlacementIdentifier(0, 1))
+        for lba in heavy:
+            device.write(lba, pid=PlacementIdentifier(0, 2))
+        device.check_invariants()
+
+
+class TestAccountingProperties:
+    @given(trace=st.lists(step, max_size=400))
+    @common
+    def test_dlwa_never_below_one(self, trace):
+        device = SimulatedSSD(SMALL_GEOMETRY)
+        replay(device, trace, use_pid=False)
+        assert device.dlwa >= 1.0
+
+    @given(trace=st.lists(step, max_size=400))
+    @common
+    def test_nand_writes_decompose(self, trace):
+        device = SimulatedSSD(SMALL_GEOMETRY, fdp=True)
+        replay(device, trace, use_pid=True)
+        s = device.stats
+        assert (
+            s.nand_pages_written
+            == s.host_pages_written + s.gc_pages_migrated
+        )
+
+    @given(trace=st.lists(step, max_size=400))
+    @common
+    def test_valid_pages_bounded_by_logical_space(self, trace):
+        device = SimulatedSSD(SMALL_GEOMETRY)
+        replay(device, trace, use_pid=False)
+        assert 0 <= device.ftl.valid_page_total() <= N_LBAS
+
+    @given(trace=st.lists(step, max_size=200))
+    @common
+    def test_log_page_consistent_with_stats(self, trace):
+        device = SimulatedSSD(SMALL_GEOMETRY)
+        replay(device, trace, use_pid=False)
+        page = device.get_log_page()
+        assert page.host_bytes_with_metadata == (
+            device.stats.host_pages_written * 4096
+        )
+        assert page.dlwa == pytest.approx(device.dlwa)

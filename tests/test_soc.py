@@ -1,0 +1,137 @@
+"""Unit tests for the Small Object Cache engine."""
+
+import pytest
+
+from repro.cache import CacheItem, SmallObjectCache
+from repro.cache.item import ITEM_HEADER_BYTES
+from repro.core import FdpAwareDevice
+
+
+@pytest.fixture
+def soc_env(fdp_ssd):
+    layer = FdpAwareDevice(fdp_ssd)
+    handle = layer.allocator.allocate("soc")
+    soc = SmallObjectCache(layer, handle, base_lba=0, num_buckets=64)
+    return soc, layer, fdp_ssd
+
+
+class TestInsertLookup:
+    def test_insert_then_lookup(self, soc_env):
+        soc, _, _ = soc_env
+        admitted, _ = soc.insert(CacheItem(1, 500))
+        assert admitted
+        item, _ = soc.lookup(1)
+        assert item == CacheItem(1, 500)
+        assert soc.hit_ratio == 1.0
+
+    def test_lookup_miss(self, soc_env):
+        soc, _, _ = soc_env
+        item, _ = soc.lookup(999)
+        assert item is None
+
+    def test_insert_writes_one_page(self, soc_env):
+        soc, layer, dev = soc_env
+        soc.insert(CacheItem(1, 500))
+        assert soc.flash_writes == 1
+        assert dev.stats.host_pages_written == 1
+
+    def test_insert_rewrites_same_bucket_lba(self, soc_env):
+        soc, _, dev = soc_env
+        key = 5
+        soc.insert(CacheItem(key, 100))
+        soc.insert(CacheItem(key, 200))
+        # Same bucket page overwritten -> only 1 valid page on flash.
+        assert dev.ftl.valid_page_total() == 1
+
+    def test_rejects_item_larger_than_bucket(self, soc_env):
+        soc, _, _ = soc_env
+        admitted, _ = soc.insert(CacheItem(1, 5000))
+        assert not admitted
+        assert soc.flash_writes == 0
+
+    def test_overwrite_updates_size(self, soc_env):
+        soc, _, _ = soc_env
+        soc.insert(CacheItem(1, 100))
+        soc.insert(CacheItem(1, 300))
+        item, _ = soc.lookup(1)
+        assert item.size == 300
+
+
+class TestBucketBehaviour:
+    def test_uniform_hash_spreads_keys(self, soc_env):
+        soc, _, _ = soc_env
+        buckets = {soc.bucket_of(k) for k in range(1000)}
+        assert len(buckets) == soc.num_buckets
+
+    def test_bucket_overflow_evicts_fifo(self, soc_env):
+        soc, _, _ = soc_env
+        bucket = soc.bucket_of(0)
+        same_bucket = [k for k in range(100_000) if soc.bucket_of(k) == bucket]
+        item_bytes = 1000
+        fits = soc.usable_bucket_bytes // (item_bytes + ITEM_HEADER_BYTES)
+        keys = same_bucket[: fits + 1]
+        for k in keys:
+            soc.insert(CacheItem(k, item_bytes))
+        assert soc.evictions == 1
+        first, _ = soc.lookup(keys[0])
+        assert first is None  # FIFO: oldest evicted
+        last, _ = soc.lookup(keys[-1])
+        assert last is not None
+
+    def test_bloom_avoids_reads_for_absent_keys(self, soc_env):
+        soc, _, _ = soc_env
+        for k in range(2000, 2600):
+            soc.lookup(k)
+        assert soc.bloom_rejects > 0
+        assert soc.flash_reads < 600
+
+
+class TestDeleteInvalidate:
+    def test_delete_rewrites_bucket(self, soc_env):
+        soc, _, _ = soc_env
+        soc.insert(CacheItem(1, 100))
+        removed, _ = soc.delete(1)
+        assert removed
+        assert soc.flash_writes == 2
+        item, _ = soc.lookup(1)
+        assert item is None
+
+    def test_delete_missing_is_noop(self, soc_env):
+        soc, _, _ = soc_env
+        removed, _ = soc.delete(77)
+        assert not removed
+        assert soc.flash_writes == 0
+
+    def test_invalidate_is_io_free(self, soc_env):
+        soc, _, _ = soc_env
+        soc.insert(CacheItem(1, 100))
+        assert soc.invalidate(1)
+        assert soc.flash_writes == 1  # only the insert wrote
+        assert not soc.contains(1)
+
+    def test_invalidate_missing(self, soc_env):
+        soc, _, _ = soc_env
+        assert not soc.invalidate(123)
+
+
+class TestAccounting:
+    def test_alwa_inputs(self, soc_env):
+        soc, _, _ = soc_env
+        soc.insert(CacheItem(1, 100))
+        soc.insert(CacheItem(2, 200))
+        assert soc.app_bytes_written == 300
+        assert soc.ssd_bytes_written == 2 * soc.bucket_size
+
+    def test_item_count(self, soc_env):
+        soc, _, _ = soc_env
+        for k in range(10):
+            soc.insert(CacheItem(k, 50))
+        assert soc.item_count == 10
+
+    def test_validation(self, fdp_ssd):
+        layer = FdpAwareDevice(fdp_ssd)
+        h = layer.allocator.allocate("soc")
+        with pytest.raises(ValueError):
+            SmallObjectCache(layer, h, base_lba=0, num_buckets=0)
+        with pytest.raises(ValueError):
+            SmallObjectCache(layer, h, base_lba=-1, num_buckets=4)

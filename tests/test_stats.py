@@ -1,0 +1,66 @@
+"""Unit tests for device counters / DLWA accounting."""
+
+from repro.ssd import DeviceStats
+
+
+class TestDlwa:
+    def test_dlwa_is_one_with_no_writes(self):
+        assert DeviceStats().dlwa == 1.0
+
+    def test_dlwa_ratio(self):
+        s = DeviceStats()
+        s.host_pages_written = 100
+        s.nand_pages_written = 130
+        assert s.dlwa == 1.3
+
+    def test_dlwa_never_below_one_when_accounted(self):
+        s = DeviceStats()
+        s.host_pages_written = 10
+        s.nand_pages_written = 10
+        assert s.dlwa == 1.0
+
+
+class TestSnapshot:
+    def test_snapshot_is_frozen_copy(self):
+        s = DeviceStats()
+        s.host_pages_written = 5
+        snap = s.snapshot()
+        s.host_pages_written = 50
+        assert snap.host_pages_written == 5
+
+    def test_interval_dlwa(self):
+        s = DeviceStats()
+        s.host_pages_written = 100
+        s.nand_pages_written = 100
+        first = s.snapshot()
+        s.host_pages_written = 200
+        s.nand_pages_written = 300
+        second = s.snapshot()
+        # Over the interval: 100 host pages, 200 NAND pages.
+        assert second.interval_dlwa(first) == 2.0
+
+    def test_interval_dlwa_with_no_traffic(self):
+        s = DeviceStats()
+        snap = s.snapshot()
+        assert s.snapshot().interval_dlwa(snap) == 1.0
+
+    def test_snapshot_dlwa_property(self):
+        s = DeviceStats()
+        s.host_pages_written = 4
+        s.nand_pages_written = 6
+        assert s.snapshot().dlwa == 1.5
+
+
+class TestReset:
+    def test_reset_zeroes_everything(self):
+        s = DeviceStats()
+        s.host_pages_written = 1
+        s.nand_pages_written = 2
+        s.gc_pages_migrated = 3
+        s.superblocks_erased = 4
+        s.reset()
+        assert s.host_pages_written == 0
+        assert s.nand_pages_written == 0
+        assert s.gc_pages_migrated == 0
+        assert s.superblocks_erased == 0
+        assert s.dlwa == 1.0

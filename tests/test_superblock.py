@@ -1,0 +1,74 @@
+"""Unit tests for the superblock state machine."""
+
+import pytest
+
+from repro.ssd import Superblock, SuperblockState
+
+
+class TestLifecycle:
+    def test_starts_free(self):
+        sb = Superblock(3)
+        assert sb.state is SuperblockState.FREE
+        assert sb.valid_pages == 0
+        assert sb.erase_count == 0
+        assert sb.stream is None
+
+    def test_open_sets_stream(self):
+        sb = Superblock(0)
+        sb.open_for(("host", 0, 1))
+        assert sb.state is SuperblockState.OPEN
+        assert sb.stream == ("host", 0, 1)
+        assert sb.write_ptr == 0
+
+    def test_close_after_open(self):
+        sb = Superblock(0)
+        sb.open_for("s")
+        sb.close()
+        assert sb.state is SuperblockState.CLOSED
+
+    def test_erase_returns_to_free_and_counts(self):
+        sb = Superblock(0)
+        sb.open_for("s")
+        sb.close()
+        sb.erase()
+        assert sb.state is SuperblockState.FREE
+        assert sb.erase_count == 1
+        assert sb.stream is None
+
+    def test_full_cycle_twice(self):
+        sb = Superblock(0)
+        for _ in range(2):
+            sb.open_for("s")
+            sb.close()
+            sb.erase()
+        assert sb.erase_count == 2
+
+
+class TestIllegalTransitions:
+    def test_open_twice_fails(self):
+        sb = Superblock(0)
+        sb.open_for("s")
+        with pytest.raises(RuntimeError):
+            sb.open_for("s")
+
+    def test_close_free_fails(self):
+        with pytest.raises(RuntimeError):
+            Superblock(0).close()
+
+    def test_erase_open_fails(self):
+        sb = Superblock(0)
+        sb.open_for("s")
+        with pytest.raises(RuntimeError):
+            sb.erase()
+
+    def test_erase_free_fails(self):
+        with pytest.raises(RuntimeError):
+            Superblock(0).erase()
+
+    def test_erase_with_valid_pages_fails(self):
+        sb = Superblock(0)
+        sb.open_for("s")
+        sb.valid_pages = 5
+        sb.close()
+        with pytest.raises(RuntimeError):
+            sb.erase()

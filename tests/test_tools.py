@@ -1,0 +1,191 @@
+"""Tests for the nvme-cli-style and cachebench-style CLI tools."""
+
+import json
+
+import pytest
+
+from repro.tools import cachebench, nvme
+
+
+@pytest.fixture
+def device_file(tmp_path):
+    path = str(tmp_path / "dev.pkl")
+    rc = nvme.main(
+        ["create", path, "--superblocks", "64", "--pages-per-block", "8",
+         "--fdp"]
+    )
+    assert rc == 0
+    return path
+
+
+class TestNvmeCli:
+    def test_create_and_id_ctrl(self, device_file, capsys):
+        assert nvme.main(["id-ctrl", device_file]) == 0
+        out = capsys.readouterr().out
+        assert "fdp               : enabled (8 RUHs" in out
+
+    def test_create_conventional(self, tmp_path, capsys):
+        path = str(tmp_path / "conv.pkl")
+        nvme.main(["create", path, "--superblocks", "64"])
+        nvme.main(["id-ctrl", path])
+        assert "fdp               : disabled" in capsys.readouterr().out
+
+    def test_fdp_stats_reflect_traffic(self, device_file, capsys):
+        device = nvme.load_device(device_file)
+        device.write(0, npages=8)
+        nvme.save_device(device, device_file)
+        nvme.main(["fdp-stats", device_file])
+        out = capsys.readouterr().out
+        assert f"host bytes written      : {8 * 4096}" in out
+
+    def test_smart_counters(self, device_file, capsys):
+        nvme.main(["smart", device_file])
+        out = capsys.readouterr().out
+        assert "DLWA                : 1.0000" in out
+        assert "occupancy" in out
+
+    def test_format_resets(self, device_file, capsys):
+        device = nvme.load_device(device_file)
+        device.write(0, npages=4)
+        nvme.save_device(device, device_file)
+        nvme.main(["format", device_file])
+        nvme.main(["fdp-stats", device_file])
+        out = capsys.readouterr().out
+        assert "host bytes written      : 0" in out
+
+    def test_fdp_events(self, device_file, capsys):
+        device = nvme.load_device(device_file)
+        for lba in range(device.geometry.pages_per_superblock + 1):
+            device.write(lba)
+        nvme.save_device(device, device_file)
+        nvme.main(["fdp-events", device_file, "--last", "3"])
+        out = capsys.readouterr().out
+        assert "media relocated events" in out
+        assert "ru_switched" in out
+
+    def test_load_rejects_garbage(self, tmp_path):
+        import pickle
+
+        path = tmp_path / "junk.pkl"
+        path.write_bytes(pickle.dumps({"not": "a device"}))
+        with pytest.raises(SystemExit):
+            nvme.load_device(str(path))
+
+    def test_state_persists_across_invocations(self, device_file):
+        device = nvme.load_device(device_file)
+        device.write(0, npages=3)
+        nvme.save_device(device, device_file)
+        again = nvme.load_device(device_file)
+        assert again.stats.host_pages_written == 3
+
+
+class TestCachebenchCli:
+    SMALL = {
+        "workload": {"num_ops": 30_000},
+        "device": {"superblocks": 64},
+    }
+
+    def test_run_from_config_defaults(self):
+        result = cachebench.run_from_config(self.SMALL)
+        assert result.ops == 30_000
+        assert result.dlwa >= 1.0
+
+    def test_unknown_section_rejected(self):
+        with pytest.raises(ValueError):
+            cachebench.run_from_config({"nope": {}})
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError):
+            cachebench.run_from_config({"cache": {"wat": 1}})
+
+    def test_main_with_config_and_out(self, tmp_path, capsys):
+        cfg = dict(self.SMALL)
+        config_path = tmp_path / "cfg.json"
+        config_path.write_text(json.dumps(cfg))
+        out_path = tmp_path / "out.json"
+        rc = cachebench.main(
+            ["--config", str(config_path), "--out", str(out_path)]
+        )
+        assert rc == 0
+        assert "DLWA" in capsys.readouterr().out
+        data = json.loads(out_path.read_text())
+        assert data["ops"] == 30_000
+        assert len(data["interval_series"]) == 30_000 // 50_000 or True
+        assert "throughput_kops" in data
+
+    def test_fdp_flag_respected(self):
+        non = cachebench.run_from_config(
+            {**self.SMALL, "cache": {"fdp": False}}
+        )
+        assert non.fdp is False
+
+    def test_workload_selection(self):
+        result = cachebench.run_from_config(
+            {
+                "workload": {"name": "twitter", "num_ops": 20_000},
+                "device": {"superblocks": 64},
+            }
+        )
+        assert result.ops == 20_000
+
+    def test_result_serialization_roundtrip(self):
+        result = cachebench.run_from_config(self.SMALL)
+        data = cachebench.result_to_dict(result)
+        encoded = json.dumps(data)
+        assert json.loads(encoded)["dlwa"] == pytest.approx(result.dlwa)
+
+
+class TestTracegenCli:
+    def test_generates_and_profiles(self, tmp_path, capsys):
+        from repro.tools import tracegen
+
+        out = tmp_path / "t.csv.gz"
+        rc = tracegen.main(
+            ["kvcache", str(out), "--ops", "5000", "--keys", "1000",
+             "--profile"]
+        )
+        assert rc == 0
+        captured = capsys.readouterr().out
+        assert "wrote 5000 requests" in captured
+        assert "GET:SET" in captured
+        from repro.workloads import Trace
+
+        assert len(Trace.load(out)) == 5000
+
+    def test_override_get_fraction(self, tmp_path):
+        from repro.tools import tracegen
+        from repro.workloads import Trace
+
+        out = tmp_path / "t.csv.gz"
+        tracegen.main(
+            ["kvcache", str(out), "--ops", "4000", "--keys", "500",
+             "--get-fraction", "0.0"]
+        )
+        assert Trace.load(out).op_counts() == {"set": 4000}
+
+    def test_wo_rejects_get_fraction(self, tmp_path):
+        from repro.tools import tracegen
+
+        with pytest.raises(SystemExit):
+            tracegen.main(
+                ["wo-kvcache", str(tmp_path / "x.gz"), "--get-fraction",
+                 "0.5"]
+            )
+
+    def test_rejects_bad_counts(self, tmp_path):
+        from repro.tools import tracegen
+
+        with pytest.raises(SystemExit):
+            tracegen.main(["kvcache", str(tmp_path / "x.gz"), "--ops", "0"])
+
+    def test_kangaroo_engine_via_cachebench_config(self):
+        from repro.tools import cachebench
+
+        result = cachebench.run_from_config(
+            {
+                "workload": {"num_ops": 30_000},
+                "device": {"superblocks": 64},
+                "cache": {"soc_engine": "kangaroo"},
+            }
+        )
+        assert result.ops == 30_000

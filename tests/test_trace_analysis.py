@@ -1,0 +1,93 @@
+"""Tests for trace profiling."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    OP_GET,
+    OP_SET,
+    Trace,
+    kv_cache_trace,
+    profile_trace,
+    twitter_cluster12_trace,
+    wo_kv_cache_trace,
+)
+
+
+class TestProfileBasics:
+    def test_empty_trace_rejected(self):
+        t = Trace(
+            np.empty(0, dtype=np.uint8),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+        )
+        with pytest.raises(ValueError):
+            profile_trace(t)
+
+    def test_simple_counts(self):
+        t = Trace(
+            np.array([OP_GET, OP_SET, OP_GET, OP_GET], dtype=np.uint8),
+            np.array([1, 2, 1, 3]),
+            np.array([100, 5000, 100, 100]),
+        )
+        p = profile_trace(t)
+        assert p.num_ops == 4
+        assert p.num_unique_keys == 3
+        assert p.get_fraction == 0.75
+        assert p.set_fraction == 0.25
+
+    def test_working_set_counts_each_key_once(self):
+        t = Trace(
+            np.array([OP_SET] * 4, dtype=np.uint8),
+            np.array([1, 1, 1, 2]),
+            np.array([100, 100, 100, 200]),
+        )
+        p = profile_trace(t)
+        assert p.working_set_bytes == 300
+        assert p.write_footprint_bytes == 500
+
+    def test_small_fractions(self):
+        t = Trace(
+            np.array([OP_SET, OP_SET], dtype=np.uint8),
+            np.array([1, 2]),
+            np.array([1000, 9000]),
+        )
+        p = profile_trace(t)
+        assert p.small_op_fraction == 0.5
+        assert p.small_byte_fraction == 0.1
+
+
+class TestProfileOnGenerators:
+    def test_kv_cache_profile_matches_published_shape(self):
+        p = profile_trace(kv_cache_trace(100_000, 20_000))
+        assert 0.75 < p.get_fraction < 0.85
+        assert p.small_op_fraction > 0.75
+        assert p.small_byte_fraction < 0.5  # large objects dominate bytes
+
+    def test_twitter_profile_write_heavy(self):
+        p = profile_trace(twitter_cluster12_trace(100_000, 20_000))
+        assert p.set_fraction > 0.7
+
+    def test_wo_profile_all_sets(self):
+        p = profile_trace(wo_kv_cache_trace(50_000, 20_000))
+        assert p.set_fraction == 1.0
+        assert p.get_fraction == 0.0
+
+    def test_churn_detected(self):
+        high = profile_trace(
+            kv_cache_trace(100_000, 20_000, churn_fraction=0.8)
+        )
+        low = profile_trace(
+            kv_cache_trace(100_000, 20_000, churn_fraction=0.0)
+        )
+        # The proxy has a sampling-sparsity floor (rare Zipf-tail keys
+        # look "new"), so compare against that floor, not zero.
+        assert high.churn_fraction > 0.6
+        assert low.churn_fraction < 0.3
+        assert high.churn_fraction > low.churn_fraction
+
+    def test_summary_renders(self):
+        p = profile_trace(kv_cache_trace(10_000, 2_000))
+        text = p.summary()
+        assert "GET:SET" in text
+        assert "working set" in text

@@ -1,0 +1,121 @@
+"""Unit tests for wear statistics and static wear leveling."""
+
+import random
+
+import pytest
+
+from repro.ssd import (
+    Geometry,
+    SimulatedSSD,
+    Superblock,
+    WearStats,
+    collect_wear_stats,
+    select_wear_victim,
+)
+from repro.ssd.superblock import SuperblockState
+
+
+def worn_blocks(erase_counts, closed_mask=None):
+    blocks = []
+    for i, count in enumerate(erase_counts):
+        sb = Superblock(i)
+        sb.erase_count = count
+        if closed_mask is None or closed_mask[i]:
+            sb.open_for("s")
+            sb.close()
+        blocks.append(sb)
+    return blocks
+
+
+class TestWearStats:
+    def test_summary(self):
+        stats = collect_wear_stats(worn_blocks([0, 5, 10]))
+        assert stats.min_erases == 0
+        assert stats.max_erases == 10
+        assert stats.mean_erases == 5.0
+        assert stats.total_erases == 15
+        assert stats.spread == 10
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            collect_wear_stats([])
+
+    def test_lifetime_fraction(self):
+        stats = WearStats(0, 300, 100.0, 1000)
+        assert stats.lifetime_fraction_used(3000) == 0.1
+        with pytest.raises(ValueError):
+            stats.lifetime_fraction_used(0)
+
+
+class TestWearVictimSelection:
+    def test_no_victim_under_threshold(self):
+        blocks = worn_blocks([3, 4, 5])
+        assert select_wear_victim(blocks, threshold=5) is None
+
+    def test_least_worn_closed_block_chosen(self):
+        blocks = worn_blocks([0, 2, 50])
+        victim = select_wear_victim(blocks, threshold=10)
+        assert victim is blocks[0]
+
+    def test_open_blocks_not_chosen(self):
+        blocks = worn_blocks([0, 2, 50], closed_mask=[False, True, True])
+        victim = select_wear_victim(blocks, threshold=10)
+        assert victim is blocks[1]
+
+    def test_nothing_closed(self):
+        blocks = worn_blocks([0, 50], closed_mask=[False, False])
+        assert select_wear_victim(blocks, threshold=10) is None
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            select_wear_victim([], threshold=0)
+
+
+class TestWearLevelingInFtl:
+    def _hot_cold_device(self, threshold):
+        g = Geometry(
+            pages_per_block=4,
+            planes_per_die=2,
+            dies=2,
+            num_superblocks=64,
+            op_fraction=0.1,
+        )
+        dev = SimulatedSSD(g, wear_level_threshold=threshold)
+        rng = random.Random(2)
+        n = dev.capacity_pages
+        # Cold data occupies the first half and is never rewritten;
+        # the hot half hammers the remaining blocks.
+        for lba in range(n // 2):
+            dev.write(lba)
+        for _ in range(30 * n):
+            dev.write(rng.randrange(n // 2, n))
+        dev.check_invariants()
+        return dev
+
+    def test_leveling_bounds_wear_spread(self):
+        unleveled = self._hot_cold_device(None)
+        leveled = self._hot_cold_device(8)
+        # Leveling is rate-limited (1 pass per 16 GCs), so the spread
+        # is bounded loosely, not pinned at the threshold.
+        assert (
+            leveled.wear_stats().spread
+            < unleveled.wear_stats().spread / 3
+        )
+        assert leveled.wear_stats().spread <= 5 * 8
+
+    def test_leveling_costs_extra_migrations(self):
+        unleveled = self._hot_cold_device(None)
+        leveled = self._hot_cold_device(8)
+        assert (
+            leveled.stats.gc_pages_migrated
+            >= unleveled.stats.gc_pages_migrated
+        )
+
+    def test_device_exposes_wear_stats(self, conventional_ssd):
+        conventional_ssd.write(0)
+        stats = conventional_ssd.wear_stats()
+        assert stats.total_erases >= 0
+
+    def test_invalid_threshold(self, small_geometry):
+        with pytest.raises(ValueError):
+            SimulatedSSD(small_geometry, wear_level_threshold=0)
