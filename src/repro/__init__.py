@@ -15,6 +15,8 @@ Public API tour:
   traces.
 * :mod:`repro.bench` — CacheBench-style replayer and the scaled
   experiment builders.
+* :mod:`repro.faults` — deterministic media-fault injection (UECC,
+  program/erase failures, block retirement, SMART-like health log).
 * :mod:`repro.model` — Theorem 1 (DLWA) and Theorems 2-3 (carbon).
 
 Quick start::
@@ -25,7 +27,7 @@ Quick start::
     print(result.summary_row())
 """
 
-from . import bench, cache, core, fdp, model, ssd, workloads
+from . import bench, cache, core, faults, fdp, model, ssd, workloads
 
 __version__ = "1.0.0"
 
@@ -33,6 +35,7 @@ __all__ = [
     "bench",
     "cache",
     "core",
+    "faults",
     "fdp",
     "model",
     "ssd",

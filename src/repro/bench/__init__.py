@@ -4,7 +4,16 @@ the scaled experiment builders every figure/table bench uses."""
 from .driver import CacheBench, ReplayConfig
 from .metrics import IntervalPoint, LatencyReservoir, RunResult
 from .plotting import ascii_chart, dlwa_timeline_chart
-from .runner import DEFAULT_SCALE, Scale, build_experiment, make_trace, run_experiment
+from .runner import (
+    CHAOS_SCALE,
+    DEFAULT_SCALE,
+    Scale,
+    build_experiment,
+    default_chaos_config,
+    make_trace,
+    run_chaos_soak,
+    run_experiment,
+)
 
 __all__ = [
     "CacheBench",
@@ -16,7 +25,10 @@ __all__ = [
     "dlwa_timeline_chart",
     "Scale",
     "DEFAULT_SCALE",
+    "CHAOS_SCALE",
     "build_experiment",
     "make_trace",
     "run_experiment",
+    "default_chaos_config",
+    "run_chaos_soak",
 ]

@@ -133,6 +133,7 @@ class CacheBench:
 
         stats = device.stats
         steady = steady_state_dlwa(series)
+        health = device.get_health_log()
         return RunResult(
             name=name or trace.name,
             fdp=cache.device.fdp_enabled and cache.io.allocator.placement_enabled,
@@ -155,4 +156,11 @@ class CacheBench:
             p99_read_us=read_lat.p99_us(),
             p50_write_us=write_lat.p50_us(),
             p99_write_us=write_lat.p99_us(),
+            media_errors=health.media_errors,
+            read_errors=cache.read_errors,
+            write_errors=cache.write_errors,
+            write_drops=cache.write_drops,
+            io_retries=cache.io.read_retries + cache.io.write_retries,
+            retired_superblocks=health.retired_superblocks,
+            available_spare_pct=health.available_spare_pct,
         )

@@ -100,6 +100,15 @@ class RunResult:
     p99_read_us: float
     p50_write_us: float
     p99_write_us: float
+    # fault/degradation metrics (all zero on a fault-free device;
+    # appended with defaults so positional constructions stay valid)
+    media_errors: int = 0
+    read_errors: int = 0
+    write_errors: int = 0
+    write_drops: int = 0
+    io_retries: int = 0
+    retired_superblocks: int = 0
+    available_spare_pct: float = 100.0
 
     @property
     def throughput_kops(self) -> float:
@@ -122,6 +131,16 @@ class RunResult:
             f"ALWA={self.alwa:4.2f} kops={self.throughput_kops:7.1f} "
             f"p99r={self.p99_read_us:7.0f}us p99w={self.p99_write_us:7.0f}us "
             f"GCreloc={self.gc_relocation_events}"
+        )
+
+    def faults_row(self) -> str:
+        """One printable row of fault/degradation counters."""
+        return (
+            f"{self.name:<28} media_err={self.media_errors:<6} "
+            f"read_err={self.read_errors:<5} write_err={self.write_errors:<5} "
+            f"drops={self.write_drops:<5} retries={self.io_retries:<5} "
+            f"retired_sb={self.retired_superblocks:<3} "
+            f"spare={self.available_spare_pct:5.1f}%"
         )
 
 

@@ -14,10 +14,12 @@ constants live in exactly one place.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from ..cache.config import CacheConfig
 from ..cache.hybrid import HybridCache
+from ..faults.model import FaultConfig, HealthLogPage
+from ..faults.plan import ScriptedFault
 from ..ssd.device import SimulatedSSD
 from ..ssd.geometry import Geometry
 from ..workloads.kvcache import kv_cache_trace, wo_kv_cache_trace
@@ -26,7 +28,15 @@ from ..workloads.twitter import twitter_cluster12_trace
 from .driver import CacheBench, ReplayConfig
 from .metrics import RunResult
 
-__all__ = ["Scale", "DEFAULT_SCALE", "build_experiment", "run_experiment"]
+__all__ = [
+    "Scale",
+    "DEFAULT_SCALE",
+    "CHAOS_SCALE",
+    "build_experiment",
+    "run_experiment",
+    "default_chaos_config",
+    "run_chaos_soak",
+]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -94,6 +104,7 @@ def build_experiment(
     dram_bytes: Optional[int] = None,
     scale: Scale = DEFAULT_SCALE,
     cache_overrides: Optional[Dict[str, object]] = None,
+    faults: Optional[FaultConfig] = None,
 ) -> HybridCache:
     """Create a device + hybrid cache pair for one experiment arm.
 
@@ -101,11 +112,14 @@ def build_experiment(
     nvme-cli: device FDP support *and* CacheLib placement.
     ``utilization`` is the fraction of the device's advertised capacity
     given to the flash cache (Figure 6's sweep variable).
+    ``faults`` (default ``None`` — a perfectly reliable device) attaches
+    a seed-driven :class:`~repro.faults.model.FaultConfig` to the
+    simulated SSD for chaos runs.
     """
     if not 0.0 < utilization <= 1.0:
         raise ValueError("utilization must be in (0, 1]")
     geometry = scale.geometry()
-    device = SimulatedSSD(geometry, fdp=fdp)
+    device = SimulatedSSD(geometry, fdp=fdp, faults=faults)
     # Reserve the metadata slice out of the cache's share so a
     # 100%-utilization layout still fits the advertised capacity.
     meta_pages = CacheConfig.__dataclass_fields__["metadata_pages"].default
@@ -123,6 +137,7 @@ def build_experiment(
         dram_bytes=dram_bytes,
         region_bytes=scale.region_bytes,
         enable_fdp_placement=fdp,
+        **(cache_overrides or {}),
     )
     return HybridCache(device, config)
 
@@ -139,6 +154,7 @@ def run_experiment(
     seed: int = 42,
     replay: Optional[ReplayConfig] = None,
     name: Optional[str] = None,
+    faults: Optional[FaultConfig] = None,
 ) -> RunResult:
     """Build one arm (device, cache, trace) and replay it."""
     cache = build_experiment(
@@ -147,6 +163,7 @@ def run_experiment(
         soc_fraction=soc_fraction,
         dram_bytes=dram_bytes,
         scale=scale,
+        faults=faults,
     )
     trace = make_trace(
         workload,
@@ -161,3 +178,79 @@ def run_experiment(
         f"{'FDP' if fdp else 'Non-FDP'}"
     )
     return bench.run(cache, trace, name=label)
+
+
+# Chaos runs shrink the device to 64 MiB physical so a short soak
+# overwrites it several times: GC must erase superblocks repeatedly,
+# which is what gives the scripted cycle-targeted erase failures (and
+# wear in general) something to hit.
+CHAOS_SCALE = Scale(num_superblocks=128, num_ops=300_000)
+
+
+def default_chaos_config(seed: int = 0xFA17) -> FaultConfig:
+    """The standard chaos-soak fault profile.
+
+    Probabilistic UECCs and program failures at 1e-4 per op (orders of
+    magnitude above a healthy drive's UBER, so a short run still sees
+    dozens of events), plus two scripted erase failures that force
+    permanent superblock retirements at deterministic points.
+    """
+    return FaultConfig(
+        seed=seed,
+        read_uecc_rate=1e-4,
+        program_fail_rate=1e-4,
+        plan=(
+            ScriptedFault(op="erase", superblock=7, cycle=2),
+            ScriptedFault(op="erase", superblock=11, cycle=3),
+        ),
+    )
+
+
+def run_chaos_soak(
+    workload: str = "kvcache",
+    *,
+    fdp: bool = True,
+    utilization: float = 0.9,
+    num_ops: Optional[int] = None,
+    scale: Scale = CHAOS_SCALE,
+    seed: int = 42,
+    faults: Optional[FaultConfig] = None,
+    replay: Optional[ReplayConfig] = None,
+    max_steady_dlwa: Optional[float] = None,
+    min_hit_ratio: Optional[float] = None,
+    name: Optional[str] = None,
+) -> Tuple[RunResult, HealthLogPage]:
+    """Replay a workload against a deliberately failing device.
+
+    The graceful-degradation soak: the cache must keep serving while
+    the device throws UECCs, program failures, and scripted erase
+    failures that permanently retire superblocks.  Returns the run
+    result plus the device's post-run SMART-like health log, after
+    verifying FTL invariants still hold.
+
+    ``max_steady_dlwa`` / ``min_hit_ratio`` optionally assert that
+    degradation stayed within a band — the chaos run's pass criteria.
+    """
+    if faults is None:
+        faults = default_chaos_config()
+    cache = build_experiment(
+        fdp=fdp, utilization=utilization, scale=scale, faults=faults
+    )
+    trace = make_trace(
+        workload, cache.config.nvm_bytes, scale, num_ops=num_ops, seed=seed
+    )
+    label = name or f"chaos {workload} {'FDP' if fdp else 'Non-FDP'}"
+    result = CacheBench(replay).run(cache, trace, name=label)
+    cache.device.check_invariants()
+    health = cache.device.get_health_log()
+    if max_steady_dlwa is not None and result.steady_dlwa > max_steady_dlwa:
+        raise AssertionError(
+            f"chaos soak: steady DLWA {result.steady_dlwa:.3f} exceeds "
+            f"band {max_steady_dlwa:.3f}"
+        )
+    if min_hit_ratio is not None and result.hit_ratio < min_hit_ratio:
+        raise AssertionError(
+            f"chaos soak: hit ratio {result.hit_ratio:.3f} collapsed "
+            f"below band {min_hit_ratio:.3f}"
+        )
+    return result, health

@@ -29,6 +29,12 @@ class CacheConfig:
     The paper's default deployment shape: SOC = 4 % of the flash cache,
     LOC = 96 %, DRAM ≈ 4.5 % of the flash cache, 2 KiB small-object
     threshold, FIFO region eviction.
+
+    ``io_read_retries`` / ``io_write_retries`` / ``io_retry_backoff_ns``
+    shape the device layer's response to injected media errors (see
+    :mod:`repro.faults` and DESIGN.md §8); they only matter when the
+    underlying :class:`~repro.ssd.device.SimulatedSSD` was built with a
+    ``faults=`` configuration.
     """
 
     name: str = "cache-0"
@@ -51,6 +57,14 @@ class CacheConfig:
     soc_engine: str = "set-associative"
     kangaroo_log_fraction: float = 0.05
     kangaroo_move_threshold: int = 2
+    # Device-layer retry budgets against injected media errors (see
+    # repro.faults): reads retry a few times (UECCs are often
+    # transient), writes resubmit once (the FTL's in-device program
+    # retry absorbs most faults first).  Irrelevant — zero overhead —
+    # on a fault-free device.
+    io_read_retries: int = 3
+    io_write_retries: int = 1
+    io_retry_backoff_ns: int = 100_000
 
     def __post_init__(self) -> None:
         if self.dram_bytes <= 0:
@@ -75,6 +89,10 @@ class CacheConfig:
             raise ValueError("kangaroo_log_fraction must be in (0, 1)")
         if self.kangaroo_move_threshold < 1:
             raise ValueError("kangaroo_move_threshold must be >= 1")
+        if self.io_read_retries < 0 or self.io_write_retries < 0:
+            raise ValueError("io retry budgets must be non-negative")
+        if self.io_retry_backoff_ns < 0:
+            raise ValueError("io_retry_backoff_ns must be non-negative")
         if self.admission is None:
             self.admission = AcceptAll()
 

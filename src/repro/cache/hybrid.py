@@ -26,6 +26,7 @@ from typing import Optional, Tuple
 from ..core.device_layer import FdpAwareDevice
 from ..core.placement import PlacementHandle
 from ..core.policies import PlacementPolicy, StaticSegregationPolicy
+from ..faults.errors import MediaError
 from ..ssd.device import SimulatedSSD
 from .config import CacheConfig
 from .dram import DramCache
@@ -86,7 +87,11 @@ class HybridCache:
             if device is None:
                 raise ValueError("need a device or a shared io layer")
             io = FdpAwareDevice(
-                device, enable_placement=config.enable_fdp_placement
+                device,
+                enable_placement=config.enable_fdp_placement,
+                max_read_retries=config.io_read_retries,
+                max_write_retries=config.io_write_retries,
+                retry_backoff_ns=config.io_retry_backoff_ns,
             )
         self.config = config
         self.io = io
@@ -165,6 +170,7 @@ class HybridCache:
         self.app_set_bytes = 0
         self.flash_admits = 0
         self.flash_rejects = 0
+        self.metadata_write_errors = 0
 
     # ------------------------------------------------------------------
     # helpers
@@ -191,7 +197,13 @@ class HybridCache:
             return now_ns
         page = self._meta_counter // self.config.metadata_flush_interval
         lba = self._meta_base + (page % self.config.metadata_pages)
-        return self.io.write(lba, 1, self.io.allocator.default(), now_ns)
+        try:
+            return self.io.write(lba, 1, self.io.allocator.default(), now_ns)
+        except MediaError:
+            # Metadata flushes are periodic and idempotent; a failed one
+            # is simply retried at the next interval.
+            self.metadata_write_errors += 1
+            return now_ns
 
     def _admit_to_flash(self, item: CacheItem, now_ns: int) -> int:
         """Run one DRAM eviction through admission + engine routing.
@@ -341,7 +353,38 @@ class HybridCache:
                     self.device.events.media_relocated_events
                 ),
             },
+            "faults": {
+                "read_errors": self.read_errors,
+                "write_errors": self.write_errors,
+                "write_drops": self.write_drops,
+                "metadata_write_errors": self.metadata_write_errors,
+                "io_retries": self.io.read_retries + self.io.write_retries,
+                "retries_exhausted": self.io.retries_exhausted,
+                "device_media_errors": self.device.stats.media_errors,
+                "retired_superblocks": (
+                    self.device.stats.superblocks_retired
+                ),
+            },
         }
+
+    @property
+    def read_errors(self) -> int:
+        """Flash read errors the engines degraded into misses."""
+        return self.soc.read_errors + self.loc.read_errors
+
+    @property
+    def write_errors(self) -> int:
+        """Flash write failures the engines absorbed (plus metadata)."""
+        return (
+            self.soc.write_errors
+            + self.loc.write_errors
+            + self.metadata_write_errors
+        )
+
+    @property
+    def write_drops(self) -> int:
+        """Cached entries dropped because their flash write failed."""
+        return self.soc.write_drops + self.loc.write_drops
 
     @property
     def alwa(self) -> float:

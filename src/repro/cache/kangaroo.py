@@ -28,6 +28,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..core.device_layer import FdpAwareDevice
 from ..core.placement import PlacementHandle
+from ..faults.errors import MediaError
 from .item import CacheItem
 from .soc import SmallObjectCache
 
@@ -110,6 +111,11 @@ class KangarooCache:
         self.lookups = 0
         self.hits = 0
         self._log_flash_reads = 0
+        # KLog-side media-failure counters (the KSet keeps its own in
+        # the embedded SmallObjectCache; aggregates below sum both).
+        self.log_read_errors = 0
+        self.log_write_errors = 0
+        self.log_write_drops = 0
 
     # ------------------------------------------------------------------
     # engine interface
@@ -162,6 +168,18 @@ class KangarooCache:
     def total_ssd_bytes_written(self) -> int:
         return self.ssd_bytes_written + self.sets.ssd_bytes_written
 
+    @property
+    def read_errors(self) -> int:
+        return self.log_read_errors + self.sets.read_errors
+
+    @property
+    def write_errors(self) -> int:
+        return self.log_write_errors + self.sets.write_errors
+
+    @property
+    def write_drops(self) -> int:
+        return self.log_write_drops + self.sets.write_drops
+
     # ------------------------------------------------------------------
     # KLog mechanics
     # ------------------------------------------------------------------
@@ -169,13 +187,32 @@ class KangarooCache:
     def _log_lba(self, page: int) -> int:
         return self.base_lba + page
 
+    def _drop_log_page(self, page: int) -> int:
+        """Discard a log page's staged items and unmap them from the
+        index.  Returns the number of entries dropped."""
+        dropped = 0
+        for item in self._log_pages[page]:
+            if self._log_index.get(item.key) == page:
+                del self._log_index[item.key]
+                dropped += 1
+        self._log_pages[page] = []
+        return dropped
+
     def _flush_head(self, now_ns: int) -> int:
         """Write the filled head page and advance the ring."""
-        done = self.device.write(
-            self._log_lba(self._head), 1, self.log_handle, now_ns
-        )
-        self.flash_writes += 1
-        self.ssd_bytes_written += self.page_size
+        try:
+            done = self.device.write(
+                self._log_lba(self._head), 1, self.log_handle, now_ns
+            )
+        except MediaError:
+            # The head page never reached flash: its staged items are
+            # lost (misses later), the ring advances regardless.
+            self.log_write_errors += 1
+            self.log_write_drops += self._drop_log_page(self._head)
+            done = now_ns
+        else:
+            self.flash_writes += 1
+            self.ssd_bytes_written += self.page_size
         self._head = (self._head + 1) % self.num_log_pages
         self._head_bytes = 0
         if self._log_pages[self._head]:
@@ -233,7 +270,19 @@ class KangarooCache:
         if page is not None:
             done = now_ns
             if page != self._head:
-                _, done = self.device.read(self._log_lba(page), 1, now_ns)
+                try:
+                    _, done = self.device.read(
+                        self._log_lba(page), 1, now_ns
+                    )
+                except MediaError:
+                    # Log page unreadable: every key staged on it is
+                    # gone; fall through to the sets for this key.
+                    self.log_read_errors += 1
+                    self._drop_log_page(page)
+                    item, done = self.sets.lookup(key, now_ns)
+                    if item is not None:
+                        self.hits += 1
+                    return item, done
                 self._log_flash_reads += 1
             # Scan newest-first: a page may hold superseded duplicates
             # of a key appended within the same fill window.

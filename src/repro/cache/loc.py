@@ -28,6 +28,7 @@ from typing import Deque, Dict, List, Optional, Tuple
 
 from ..core.device_layer import FdpAwareDevice
 from ..core.placement import PlacementHandle
+from ..faults.errors import MediaError
 from .item import CacheItem
 
 __all__ = ["LargeObjectCache", "Region", "EVICTION_FIFO", "EVICTION_LRU"]
@@ -115,6 +116,11 @@ class LargeObjectCache:
         self.flash_writes = 0
         self.app_bytes_written = 0
         self.ssd_bytes_written = 0
+        # Media-failure degradation counters: a failed region flush
+        # drops the region, an unreadable region serves misses.
+        self.read_errors = 0
+        self.write_errors = 0
+        self.write_drops = 0
 
     # ------------------------------------------------------------------
 
@@ -149,9 +155,26 @@ class LargeObjectCache:
         # would keep migrating.
         pages = self.region_pages if region.used_bytes else 0
         if pages:
-            self.device.write(
-                self._region_lba(region.region_id), pages, self.handle, now_ns
-            )
+            try:
+                self.device.write(
+                    self._region_lba(region.region_id),
+                    pages,
+                    self.handle,
+                    now_ns,
+                )
+            except MediaError:
+                # The region buffer never made it to flash.  Drop its
+                # keys (they were evictions-in-flight, not durable data)
+                # and put the region straight back on the clean list.
+                self.write_errors += 1
+                for key in region.keys:
+                    entry = self.index.get(key)
+                    if entry is not None and entry[0] == region.region_id:
+                        del self.index[key]
+                        self.write_drops += 1
+                region.reset()
+                self._clean.append(region.region_id)
+                return now_ns
             self.flash_writes += pages
             self.ssd_bytes_written += pages * page_size
         region.sealed = True
@@ -229,7 +252,16 @@ class LargeObjectCache:
             self.hits += 1
             return CacheItem(key, size), now_ns
         pages = max(1, -(-size // self.device.ssd.page_size))
-        _, done = self.device.read(self._region_lba(region_id), pages, now_ns)
+        try:
+            _, done = self.device.read(
+                self._region_lba(region_id), pages, now_ns
+            )
+        except MediaError:
+            # The item's pages are unreadable: serve a miss and unmap
+            # the key so the next GET refills it from the backend.
+            self.read_errors += 1
+            self.index.pop(key, None)
+            return None, now_ns
         self.flash_reads += pages
         self.hits += 1
         return CacheItem(key, size), done

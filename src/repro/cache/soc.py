@@ -27,6 +27,7 @@ from typing import List, Optional, Tuple
 
 from ..core.device_layer import FdpAwareDevice
 from ..core.placement import PlacementHandle
+from ..faults.errors import MediaError
 from .bloom import BloomFilter, splitmix64
 from .item import ITEM_HEADER_BYTES, CacheItem
 
@@ -90,6 +91,11 @@ class SmallObjectCache:
         self.flash_writes = 0
         self.app_bytes_written = 0
         self.ssd_bytes_written = 0
+        # Media-failure degradation counters (CacheLib: an NVM error is
+        # a miss/drop, never an exception to the caller).
+        self.read_errors = 0
+        self.write_errors = 0
+        self.write_drops = 0
 
     # ------------------------------------------------------------------
 
@@ -110,11 +116,36 @@ class SmallObjectCache:
 
     # ------------------------------------------------------------------
 
+    def _drop_bucket(self, bucket: int) -> int:
+        """Discard a bucket's contents and clear its bloom filter.
+
+        Invoked when the bucket's flash page is unreadable or a rewrite
+        failed: the in-memory ground truth no longer matches flash, so
+        the safe degraded state is an empty bucket whose bloom rejects
+        every key (no stale "maybe" answers against a dead page).
+        Returns the number of entries dropped.
+        """
+        dropped = len(self._buckets[bucket])
+        self._buckets[bucket].clear()
+        self._used[bucket] = 0
+        self._blooms[bucket].rebuild(())
+        return dropped
+
     def _write_bucket(self, bucket: int, now_ns: int) -> int:
-        """Rewrite a whole bucket page on flash and rebuild its bloom."""
-        done = self.device.write(
-            self.base_lba + bucket, 1, self.handle, now_ns
-        )
+        """Rewrite a whole bucket page on flash and rebuild its bloom.
+
+        A media failure (the device layer exhausted its write retries)
+        drops the bucket rather than raising: the engine keeps serving,
+        the lost entries simply re-enter as misses later.
+        """
+        try:
+            done = self.device.write(
+                self.base_lba + bucket, 1, self.handle, now_ns
+            )
+        except MediaError:
+            self.write_errors += 1
+            self.write_drops += self._drop_bucket(bucket)
+            return now_ns
         self.flash_writes += 1
         self.ssd_bytes_written += self.bucket_size
         self._blooms[bucket].rebuild(self._buckets[bucket].keys())
@@ -195,7 +226,15 @@ class SmallObjectCache:
         if not self._blooms[bucket].may_contain(key):
             self.bloom_rejects += 1
             return None, now_ns
-        _, done = self.device.read(self.base_lba + bucket, 1, now_ns)
+        try:
+            _, done = self.device.read(self.base_lba + bucket, 1, now_ns)
+        except MediaError:
+            # UECC survived the device layer's read retries: the page is
+            # gone.  Serve a miss and drop the bucket so its bloom stops
+            # steering lookups at the dead page.
+            self.read_errors += 1
+            self._drop_bucket(bucket)
+            return None, now_ns
         self.flash_reads += 1
         nbytes = self._buckets[bucket].get(key)
         if nbytes is None:

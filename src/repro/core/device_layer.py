@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
+from ..faults.errors import ProgramFailError, UncorrectableReadError
 from ..fdp.ruh import PlacementIdentifier
 from ..ssd.device import SimulatedSSD
 from .placement import DEFAULT_HANDLE, PlacementHandle, PlacementHandleAllocator
@@ -34,14 +35,29 @@ DTYPE_NONE = 0x0
 
 
 class IoQueue:
-    """One submission/completion queue pair (io_uring stand-in)."""
+    """One submission/completion queue pair (io_uring stand-in).
 
-    __slots__ = ("name", "submitted", "completed")
+    Tracks per-queue media-error and retry counters, the way a real
+    deployment attributes I/O errors to the worker thread that owns the
+    queue pair.
+    """
+
+    __slots__ = (
+        "name",
+        "submitted",
+        "completed",
+        "read_errors",
+        "write_errors",
+        "retries",
+    )
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.submitted = 0
         self.completed = 0
+        self.read_errors = 0
+        self.write_errors = 0
+        self.retries = 0
 
     def submit(self) -> None:
         self.submitted += 1
@@ -65,10 +81,35 @@ class FdpAwareDevice:
         Cache-side FDP switch.  The allocator degrades to default
         handles when this is off or the device lacks FDP, so consumers
         run unchanged either way (Design Principle 2).
+    max_read_retries / max_write_retries:
+        Bounded retry budget per command when the device reports a
+        media error (UECC on read, Write Fault on write).  A UECC is
+        often transient — controllers re-read with adjusted voltage
+        thresholds — so reads default to a few attempts; FTL-side
+        program retry already absorbs most write faults, so writes
+        default to one resubmission.
+    retry_backoff_ns:
+        Host-side delay before the first resubmission; doubles per
+        attempt (exponential backoff).
     """
 
-    def __init__(self, ssd: SimulatedSSD, *, enable_placement: bool = True) -> None:
+    def __init__(
+        self,
+        ssd: SimulatedSSD,
+        *,
+        enable_placement: bool = True,
+        max_read_retries: int = 3,
+        max_write_retries: int = 1,
+        retry_backoff_ns: int = 100_000,
+    ) -> None:
+        if max_read_retries < 0 or max_write_retries < 0:
+            raise ValueError("retry budgets must be non-negative")
+        if retry_backoff_ns < 0:
+            raise ValueError("retry_backoff_ns must be non-negative")
         self.ssd = ssd
+        self.max_read_retries = max_read_retries
+        self.max_write_retries = max_write_retries
+        self.retry_backoff_ns = retry_backoff_ns
         # Automatic discovery of FDP features and SSD topology (§5.1):
         # the allocator is fed whatever PIDs the device advertises.
         pids = (
@@ -84,6 +125,13 @@ class FdpAwareDevice:
         self.bytes_written = 0
         self.bytes_read = 0
         self.writes_by_handle: Dict[str, int] = {}
+        # Device-wide media-error accounting (sums of the per-queue
+        # counters plus retry outcomes), surfaced by the cache metrics.
+        self.read_errors = 0
+        self.write_errors = 0
+        self.read_retries = 0
+        self.write_retries = 0
+        self.retries_exhausted = 0
 
     # -- queue management --------------------------------------------
 
@@ -124,13 +172,36 @@ class FdpAwareDevice:
         now_ns: int = 0,
         worker: str = "worker-0",
     ) -> int:
-        """Submit a tagged write; returns simulated completion time."""
+        """Submit a tagged write; returns simulated completion time.
+
+        A Write Fault (the FTL exhausted its in-device program retries)
+        is resubmitted up to ``max_write_retries`` times with backoff;
+        a command that still fails re-raises
+        :class:`~repro.faults.errors.ProgramFailError` for the engine
+        to drop or requeue the eviction.
+        """
         q = self.queue(worker)
         q.submit()
         dtype, dspec = self._encode_directive(handle)
         pid = self._decode_directive(dtype, dspec)
-        done = self.ssd.write(lba, npages, pid, now_ns)
-        q.complete()
+        backoff = self.retry_backoff_ns
+        try:
+            for attempt in range(self.max_write_retries + 1):
+                try:
+                    done = self.ssd.write(lba, npages, pid, now_ns)
+                    break
+                except ProgramFailError:
+                    q.write_errors += 1
+                    self.write_errors += 1
+                    if attempt == self.max_write_retries:
+                        self.retries_exhausted += 1
+                        raise
+                    q.retries += 1
+                    self.write_retries += 1
+                    now_ns += backoff
+                    backoff *= 2
+        finally:
+            q.complete()
         nbytes = npages * self.ssd.page_size
         self.bytes_written += nbytes
         self.writes_by_handle[handle.name] = (
@@ -145,14 +216,58 @@ class FdpAwareDevice:
         now_ns: int = 0,
         worker: str = "worker-0",
     ) -> Tuple[bool, int]:
-        """Submit a read; returns ``(mapped, completion_ns)``."""
+        """Submit a read; returns ``(mapped, completion_ns)``.
+
+        A UECC is retried up to ``max_read_retries`` times with
+        exponential backoff (each attempt is a full device read —
+        retries cost real media time, which is how read-retry storms
+        hurt tail latency on real drives).  A command whose budget runs
+        out re-raises :class:`~repro.faults.errors.
+        UncorrectableReadError`; cache engines turn that into a miss.
+        """
         q = self.queue(worker)
         q.submit()
-        result = self.ssd.read(lba, npages, now_ns)
-        q.complete()
+        backoff = self.retry_backoff_ns
+        try:
+            for attempt in range(self.max_read_retries + 1):
+                try:
+                    result = self.ssd.read(lba, npages, now_ns)
+                    break
+                except UncorrectableReadError:
+                    q.read_errors += 1
+                    self.read_errors += 1
+                    if attempt == self.max_read_retries:
+                        self.retries_exhausted += 1
+                        raise
+                    q.retries += 1
+                    self.read_retries += 1
+                    now_ns += backoff
+                    backoff *= 2
+        finally:
+            q.complete()
         self.bytes_read += npages * self.ssd.page_size
         return result
 
     def deallocate(self, lba: int, npages: int = 1) -> int:
         """TRIM a range through the device layer."""
         return self.ssd.deallocate(lba, npages)
+
+    # -- telemetry ----------------------------------------------------
+
+    def error_counters(self) -> Dict[str, object]:
+        """Media-error and retry tallies, device-wide plus per queue."""
+        return {
+            "read_errors": self.read_errors,
+            "write_errors": self.write_errors,
+            "read_retries": self.read_retries,
+            "write_retries": self.write_retries,
+            "retries_exhausted": self.retries_exhausted,
+            "per_queue": {
+                name: {
+                    "read_errors": q.read_errors,
+                    "write_errors": q.write_errors,
+                    "retries": q.retries,
+                }
+                for name, q in self._queues.items()
+            },
+        }

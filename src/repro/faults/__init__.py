@@ -1,0 +1,34 @@
+"""Fault-injection subsystem for the simulated device stack.
+
+Deterministic, seed-driven injection of NVMe-style media failures —
+uncorrectable read errors, program failures, erase failures with
+permanent block retirement, and latency spikes — plus the scripted
+fault plans and SMART-like health telemetry that make chaos runs
+reproducible and debuggable.  See DESIGN.md's "Failure model" section
+for how each fault class propagates through the FTL, the device layer,
+and the cache engines.
+"""
+
+from .errors import (
+    EraseFailError,
+    MediaError,
+    ProgramFailError,
+    UncorrectableReadError,
+)
+from .model import FaultConfig, FaultModel, HealthLogPage
+from .plan import OP_ERASE, OP_PROGRAM, OP_READ, FaultPlan, ScriptedFault
+
+__all__ = [
+    "FaultConfig",
+    "FaultModel",
+    "HealthLogPage",
+    "FaultPlan",
+    "ScriptedFault",
+    "OP_READ",
+    "OP_PROGRAM",
+    "OP_ERASE",
+    "MediaError",
+    "UncorrectableReadError",
+    "ProgramFailError",
+    "EraseFailError",
+]

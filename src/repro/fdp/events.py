@@ -32,6 +32,9 @@ class FdpEventType(enum.Enum):
     MEDIA_RELOCATED = "media_relocated"
     RU_SWITCHED = "ru_switched"
     IMPLICIT_RU_MODIFICATION = "implicit_ru_modification"
+    # Media failure surfaced by the fault-injection subsystem: a UECC
+    # read, a failed program, or a failed erase (block retirement).
+    MEDIA_ERROR = "media_error"
 
 
 @dataclasses.dataclass(frozen=True)

@@ -14,10 +14,14 @@ from .wear import WearStats, collect_wear_stats, select_wear_victim
 from .zns import Zone, ZonedSSD, ZoneError, ZoneState, ZnsHostLog
 from .errors import (
     DeviceFullError,
+    EraseFailError,
     InvalidPlacementError,
+    MediaError,
     NamespaceError,
     OutOfRangeError,
+    ProgramFailError,
     SsdError,
+    UncorrectableReadError,
 )
 from .ftl import Ftl
 from .geometry import GIB, KIB, MIB, Geometry
@@ -55,4 +59,8 @@ __all__ = [
     "DeviceFullError",
     "InvalidPlacementError",
     "NamespaceError",
+    "MediaError",
+    "UncorrectableReadError",
+    "ProgramFailError",
+    "EraseFailError",
 ]

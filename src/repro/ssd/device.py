@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Optional, Tuple
 
+from ..faults.model import FaultConfig, FaultModel, HealthLogPage
 from ..fdp.config import FdpConfiguration, default_configuration
 from ..fdp.events import FdpEventLog
 from ..fdp.logpage import FdpStatisticsLogPage
@@ -46,6 +47,19 @@ class SimulatedSSD:
         (8 initially isolated RUHs, 1 reclaim group, superblock-sized
         RUs); pass an explicit :class:`FdpConfiguration` for other
         shapes; ``False``/``None`` yields a conventional SSD.
+    faults:
+        Failure injection.  ``None`` (default) keeps the device
+        perfectly reliable — the I/O path is then bit-identical to a
+        build without the fault subsystem.  Pass a
+        :class:`~repro.faults.model.FaultConfig` for a seed-driven
+        model that :meth:`format` rebuilds from scratch (so formatted
+        runs replay identically), or a live
+        :class:`~repro.faults.model.FaultModel` instance to share or
+        inspect the injector directly (``format`` then keeps its RNG
+        position).  Injected failures surface through
+        :meth:`get_health_log`, the FDP event log (``MEDIA_ERROR``
+        entries), and the media-error exceptions documented in
+        :mod:`repro.faults.errors`.
     """
 
     def __init__(
@@ -58,6 +72,7 @@ class SimulatedSSD:
         gc_reserve_superblocks: Optional[int] = None,
         gc_victim_sample: Optional[int] = None,
         wear_level_threshold: Optional[int] = None,
+        faults: "FaultConfig | FaultModel | None" = None,
     ) -> None:
         self.geometry = geometry
         if fdp is True:
@@ -74,7 +89,15 @@ class SimulatedSSD:
         self._gc_reserve = gc_reserve_superblocks
         self._gc_victim_sample = gc_victim_sample
         self._wear_level_threshold = wear_level_threshold
+        self._fault_spec = faults
         self.ftl = self._new_ftl()
+
+    def _new_fault_model(self) -> Optional[FaultModel]:
+        if self._fault_spec is None:
+            return None
+        if isinstance(self._fault_spec, FaultModel):
+            return self._fault_spec
+        return FaultModel(self._fault_spec)
 
     def _new_ftl(self) -> Ftl:
         return Ftl(
@@ -87,6 +110,7 @@ class SimulatedSSD:
             gc_reserve_superblocks=self._gc_reserve,
             gc_victim_sample=self._gc_victim_sample,
             wear_level_threshold=self._wear_level_threshold,
+            faults=self._new_fault_model(),
         )
 
     # ------------------------------------------------------------------
@@ -125,14 +149,21 @@ class SimulatedSSD:
     ) -> int:
         """Write ``npages`` from ``lba`` with an optional placement id.
 
-        Returns the simulated completion time in nanoseconds.
+        Returns the simulated completion time in nanoseconds.  With
+        fault injection enabled, may raise
+        :class:`~repro.faults.errors.ProgramFailError` when a run of
+        consecutive page programs fails.
         """
+        if npages <= 0:
+            raise ValueError("npages must be positive")
         return self.ftl.write_range(lba, npages, pid, now_ns)
 
     def read(self, lba: int, npages: int = 1, now_ns: int = 0) -> Tuple[bool, int]:
         """Read ``npages`` from ``lba``.
 
-        Returns ``(all_mapped, completion_ns)``.
+        Returns ``(all_mapped, completion_ns)``.  With fault injection
+        enabled, may raise
+        :class:`~repro.faults.errors.UncorrectableReadError` (UECC).
         """
         if npages <= 0:
             raise ValueError("npages must be positive")
@@ -140,6 +171,8 @@ class SimulatedSSD:
 
     def deallocate(self, lba: int, npages: int = 1) -> int:
         """TRIM a range; returns the number of pages invalidated."""
+        if npages <= 0:
+            raise ValueError("npages must be positive")
         return self.ftl.deallocate(lba, npages)
 
     def format(self) -> None:
@@ -176,6 +209,40 @@ class SimulatedSSD:
             host_bytes_with_metadata=s.host_pages_written * page,
             media_bytes_written=s.nand_pages_written * page,
             media_bytes_read_for_gc=s.gc_pages_read * page,
+        )
+
+    @property
+    def faults(self) -> Optional[FaultModel]:
+        """The live fault injector, or ``None`` on a reliable device."""
+        return self.ftl.faults
+
+    def get_health_log(self, rated_pe_cycles: int = 3000) -> HealthLogPage:
+        """SMART-like health log page (``nvme smart-log`` shape).
+
+        Reports cumulative media errors by class, permanently retired
+        superblocks, the spare (overprovisioning) capacity those
+        retirements have consumed, and endurance percent-used against
+        ``rated_pe_cycles`` — all zeros/fresh on a fault-free device.
+        """
+        s = self.ftl.stats
+        wear = self.ftl.wear_stats()
+        geometry = self.geometry
+        pps = geometry.pages_per_superblock
+        op_pages = geometry.total_pages - geometry.logical_pages
+        retired_pages = s.superblocks_retired * pps
+        if op_pages > 0:
+            spare = max(0.0, 100.0 * (op_pages - retired_pages) / op_pages)
+        else:
+            spare = 0.0 if retired_pages else 100.0
+        return HealthLogPage(
+            media_errors=s.media_errors,
+            read_uecc_errors=s.read_uecc_errors,
+            program_failures=s.program_failures,
+            erase_failures=s.erase_failures,
+            retired_superblocks=s.superblocks_retired,
+            latency_spikes=s.latency_spikes,
+            available_spare_pct=spare,
+            percent_used=100.0 * wear.max_erases / rated_pe_cycles,
         )
 
     def energy_kwh(self, elapsed_ns: Optional[int] = None) -> float:

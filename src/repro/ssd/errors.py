@@ -1,7 +1,15 @@
 """Exception hierarchy for the simulated SSD.
 
 Mirrors the failure classes a real NVMe device reports: capacity
-exhaustion, out-of-range LBAs, and invalid placement directives.
+exhaustion, out-of-range LBAs, invalid placement directives, and —
+when fault injection is enabled — media failures (uncorrectable reads,
+program faults, erase failures).  The media classes live here, at the
+bottom of the import graph, and are re-exported by
+:mod:`repro.faults.errors` as the fault subsystem's public surface.
+
+Raise sites are expected to enrich messages with live context (free
+pool size, GC reserve, offending PID vs. advertised handles) so a
+failed chaos run is debuggable from its traceback alone.
 """
 
 from __future__ import annotations
@@ -12,6 +20,10 @@ __all__ = [
     "DeviceFullError",
     "InvalidPlacementError",
     "NamespaceError",
+    "MediaError",
+    "UncorrectableReadError",
+    "ProgramFailError",
+    "EraseFailError",
 ]
 
 
@@ -29,13 +41,64 @@ class DeviceFullError(SsdError):
     A correctly sized device can always reclaim space because logical
     capacity is smaller than physical capacity; seeing this error means
     the configuration reserved too few spare superblocks for the number
-    of concurrently open write points.
+    of concurrently open write points — or that fault injection retired
+    so many blocks that effective overprovisioning ran out.  The
+    message carries the free-pool size, GC reserve, and retired-block
+    count observed at the raise site.
     """
 
 
 class InvalidPlacementError(SsdError):
-    """A write used a placement identifier the device did not advertise."""
+    """A write used a placement identifier the device did not advertise.
+
+    The message names the offending <reclaim group, RUH> pair and what
+    the device's FDP configuration actually advertises.
+    """
 
 
 class NamespaceError(SsdError):
     """Namespace management command was invalid (size, handles, ...)."""
+
+
+class MediaError(SsdError):
+    """Base class for NAND media failures (as opposed to protocol or
+    capacity errors).  Callers that degrade gracefully — the cache
+    engines, the device layer's retry loop — catch this class."""
+
+
+class UncorrectableReadError(MediaError):
+    """A read hit an uncorrectable ECC error (NVMe *Unrecovered Read
+    Error*).  May be transient: controllers re-read with adjusted
+    voltage thresholds, which the device layer models as a bounded
+    retry with backoff."""
+
+    def __init__(self, message: str, *, lba: int = -1, ppn: int = -1) -> None:
+        super().__init__(message)
+        self.lba = lba
+        self.ppn = ppn
+
+
+class ProgramFailError(MediaError):
+    """A page program failed persistently (NVMe *Write Fault*).
+
+    The FTL retries a failed program on the next page of the write
+    point; this exception only escapes when a whole run of consecutive
+    pages failed, which on a real device means the die is dying.
+    """
+
+    def __init__(self, message: str, *, lba: int = -1, attempts: int = 0) -> None:
+        super().__init__(message)
+        self.lba = lba
+        self.attempts = attempts
+
+
+class EraseFailError(MediaError):
+    """An erase failed and the superblock was retired.
+
+    Never raised to the host — the FTL handles it internally — but
+    exposed so tests and tools can construct/inspect the failure class.
+    """
+
+    def __init__(self, message: str, *, superblock: int = -1) -> None:
+        super().__init__(message)
+        self.superblock = superblock

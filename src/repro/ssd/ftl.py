@@ -28,18 +28,29 @@ import random
 from array import array
 from typing import Dict, List, Optional, Tuple
 
+from typing import TYPE_CHECKING
+
 from ..fdp.config import FdpConfiguration
 from ..fdp.events import FdpEvent, FdpEventLog, FdpEventType
 from ..fdp.ruh import PlacementIdentifier, RuhType
 from .energy import EnergyModel
-from .errors import DeviceFullError, InvalidPlacementError, OutOfRangeError
+from .errors import (
+    DeviceFullError,
+    InvalidPlacementError,
+    OutOfRangeError,
+    ProgramFailError,
+    UncorrectableReadError,
+)
 from .geometry import Geometry
 from .latency import LatencyModel
 from .stats import DeviceStats
 from .superblock import Superblock, SuperblockState
 from .wear import WearStats, collect_wear_stats, select_wear_victim
 
-__all__ = ["Ftl", "HOST_STREAM", "GC_STREAM"]
+if TYPE_CHECKING:  # avoid an import cycle at runtime; duck-typed use only
+    from ..faults.model import FaultModel
+
+__all__ = ["Ftl", "HOST_STREAM", "GC_STREAM", "MAX_PROGRAM_ATTEMPTS"]
 
 HOST_STREAM = "host"
 GC_STREAM = "gc"
@@ -53,6 +64,11 @@ _CONVENTIONAL_HOST: StreamKey = (HOST_STREAM, 0, None)
 # At most one static wear-leveling pass per this many GC victim
 # selections (see Ftl._collect_one).
 WEAR_LEVEL_PERIOD = 16
+
+# A program that fails retries on the next page of the write point; a
+# run of this many consecutive failures means the die is dying and the
+# write completes with Write Fault (ProgramFailError) instead.
+MAX_PROGRAM_ATTEMPTS = 8
 
 
 class Ftl:
@@ -70,6 +86,11 @@ class Ftl:
         Low-water mark for the free pool; GC runs while the pool is
         below it.  Must leave room for every concurrently open write
         point.
+    faults:
+        Optional :class:`~repro.faults.model.FaultModel` consulted on
+        every read, program, and erase.  ``None`` (the default) keeps
+        the device perfectly reliable and the I/O path bit-identical to
+        a fault-free build.
     """
 
     def __init__(
@@ -85,9 +106,11 @@ class Ftl:
         gc_victim_sample: Optional[int] = None,
         wear_level_threshold: Optional[int] = None,
         victim_seed: int = 0x55D,
+        faults: "Optional[FaultModel]" = None,
     ) -> None:
         self.geometry = geometry
         self.fdp_config = fdp_config
+        self.faults = faults
         self.latency = latency if latency is not None else LatencyModel()
         self.energy = energy if energy is not None else EnergyModel()
         self.events = events if events is not None else FdpEventLog()
@@ -161,7 +184,12 @@ class Ftl:
                     timestamp_ns=self.latency.busy_until,
                 )
             )
-            raise InvalidPlacementError(str(exc)) from exc
+            raise InvalidPlacementError(
+                f"write tagged with PID <rg={pid.reclaim_group}, "
+                f"ruh={pid.ruh_id}> but the device advertises "
+                f"{self.fdp_config.num_reclaim_groups} reclaim group(s) x "
+                f"{self.fdp_config.num_ruhs} RUH(s): {exc}"
+            ) from exc
         return (HOST_STREAM, pid.reclaim_group, pid.ruh_id)
 
     def _gc_stream(self, victim: Superblock) -> StreamKey:
@@ -193,8 +221,13 @@ class Ftl:
     def _pop_free(self, stream: StreamKey) -> Superblock:
         if not self._free:
             raise DeviceFullError(
-                "free superblock pool exhausted; increase overprovisioning "
-                "or the GC reserve"
+                f"free superblock pool exhausted allocating for stream "
+                f"{stream} (free=0, gc_reserve={self.gc_reserve}, "
+                f"open_write_points={len(self._write_points)}, "
+                f"retired={self.stats.superblocks_retired}/"
+                f"{self.geometry.num_superblocks} superblocks, "
+                f"occupancy={self.occupancy():.2f}); increase "
+                "overprovisioning or the GC reserve"
             )
         if self.wear_level_threshold is None:
             idx = self._free.pop()
@@ -239,21 +272,49 @@ class Ftl:
 
         Returns the physical page number.  Allocates (and garbage
         collects for) a fresh superblock when the current one fills.
+
+        With fault injection enabled, a failed program consumes its
+        page — real controllers mark it bad and move on — and retries
+        on the next page of the write point, rolling over into a fresh
+        superblock if the failure lands on the last page.  A run of
+        ``MAX_PROGRAM_ATTEMPTS`` consecutive failures completes the
+        command with Write Fault (:class:`ProgramFailError`).
         """
-        sb = self._write_points.get(stream)
-        if sb is None:
-            if stream[0] == HOST_STREAM:
-                self._collect_until_reserve(now_ns)
-            sb = self._pop_free(stream)
-            self._write_points[stream] = sb
-        ppn = sb.index * self._pps + sb.write_ptr
-        sb.write_ptr += 1
-        sb.valid_pages += 1
-        self._p2l[ppn] = lba
-        self._l2p[lba] = ppn
-        if sb.write_ptr == self._pps:
-            self._close_write_point(stream, now_ns)
-        return ppn
+        for _ in range(MAX_PROGRAM_ATTEMPTS):
+            sb = self._write_points.get(stream)
+            if sb is None:
+                if stream[0] == HOST_STREAM:
+                    self._collect_until_reserve(now_ns)
+                sb = self._pop_free(stream)
+                self._write_points[stream] = sb
+            ppn = sb.index * self._pps + sb.write_ptr
+            if self.faults is not None and self.faults.fail_program(ppn):
+                sb.write_ptr += 1  # the bad page is consumed, not mapped
+                self.stats.program_failures += 1
+                self.events.record(
+                    FdpEvent(
+                        FdpEventType.MEDIA_ERROR,
+                        timestamp_ns=now_ns,
+                        pages=1,
+                        superblock=sb.index,
+                    )
+                )
+                if sb.write_ptr == self._pps:
+                    self._close_write_point(stream, now_ns)
+                continue
+            sb.write_ptr += 1
+            sb.valid_pages += 1
+            self._p2l[ppn] = lba
+            self._l2p[lba] = ppn
+            if sb.write_ptr == self._pps:
+                self._close_write_point(stream, now_ns)
+            return ppn
+        raise ProgramFailError(
+            f"program of LBA {lba} failed on {MAX_PROGRAM_ATTEMPTS} "
+            f"consecutive pages of stream {stream}",
+            lba=lba,
+            attempts=MAX_PROGRAM_ATTEMPTS,
+        )
 
     # ------------------------------------------------------------------
     # garbage collection
@@ -360,6 +421,27 @@ class Ftl:
         base = victim.index * self._pps
         for off in range(self._pps):
             self._p2l[base + off] = -1
+        if self.faults is not None and self.faults.fail_erase(
+            victim.index, victim.erase_count + 1
+        ):
+            # Erase failure: the block is retired in place.  It never
+            # returns to the free pool, so effective overprovisioning
+            # shrinks — the mechanism by which wear-driven retirement
+            # feeds back into write amplification.  The host learns of
+            # it only through the event log and health telemetry.
+            victim.retire()
+            self.stats.erase_failures += 1
+            self.stats.superblocks_retired += 1
+            self.latency.erase(now_ns)  # the failed attempt still busies the die
+            self.energy.add_erases(self.geometry.blocks_per_superblock)
+            self.events.record(
+                FdpEvent(
+                    FdpEventType.MEDIA_ERROR,
+                    timestamp_ns=now_ns,
+                    superblock=victim.index,
+                )
+            )
+            return True
         victim.erase()
         self._free.append(victim.index)
         self.latency.erase(now_ns)
@@ -379,7 +461,11 @@ class Ftl:
                 return  # nothing closed yet; pool drains legitimately
         if len(self._free) == 0:
             raise DeviceFullError(
-                "GC cannot keep up: every superblock is almost fully valid"
+                "GC cannot keep up: every superblock is almost fully valid "
+                f"(free=0, gc_reserve={self.gc_reserve}, "
+                f"retired={self.stats.superblocks_retired}/"
+                f"{self.geometry.num_superblocks} superblocks, "
+                f"occupancy={self.occupancy():.2f})"
             )
 
     # ------------------------------------------------------------------
@@ -390,6 +476,46 @@ class Ftl:
         if not 0 <= lba < self.geometry.logical_pages:
             raise OutOfRangeError(
                 f"LBA {lba} outside [0, {self.geometry.logical_pages})"
+            )
+
+    def _inject_host_spike(self, done_ns: int) -> int:
+        """Roll one per-command latency spike (fault injection)."""
+        if self.faults is None:
+            return done_ns
+        spike = self.faults.latency_spike()
+        if spike:
+            self.stats.latency_spikes += 1
+            done_ns = self.latency.stall(done_ns, spike)
+        return done_ns
+
+    def _inject_read_faults(self, lba: int, npages: int, now_ns: int) -> None:
+        """Roll per-page UECC faults over a read command's mapped pages.
+
+        Raises :class:`UncorrectableReadError` on the first failing
+        page.  Latency and read counters have already been charged by
+        the caller — a failed read costs the same media time as a
+        successful one.
+        """
+        if self.faults is None:
+            return
+        for cur in range(lba, lba + npages):
+            ppn = self._l2p[cur]
+            if ppn < 0 or not self.faults.fail_read(cur):
+                continue
+            self.stats.read_uecc_errors += 1
+            self.events.record(
+                FdpEvent(
+                    FdpEventType.MEDIA_ERROR,
+                    timestamp_ns=now_ns,
+                    pages=1,
+                    superblock=ppn // self._pps,
+                )
+            )
+            raise UncorrectableReadError(
+                f"uncorrectable read error at LBA {cur} "
+                f"(ppn {ppn}, superblock {ppn // self._pps})",
+                lba=cur,
+                ppn=ppn,
             )
 
     def _host_write_page(self, lba: int, stream: StreamKey, now_ns: int) -> None:
@@ -416,7 +542,7 @@ class Ftl:
         self._check_lba(lba)
         stream = self._host_stream(pid)
         self._host_write_page(lba, stream, now_ns)
-        return self.latency.host_write(now_ns, 1)
+        return self._inject_host_spike(self.latency.host_write(now_ns, 1))
 
     def write_range(
         self,
@@ -438,7 +564,7 @@ class Ftl:
         stream = self._host_stream(pid)
         for i in range(npages):
             self._host_write_page(lba + i, stream, now_ns)
-        return self.latency.host_write(now_ns, npages)
+        return self._inject_host_spike(self.latency.host_write(now_ns, npages))
 
     def read(self, lba: int, now_ns: int = 0) -> Tuple[bool, int]:
         """Read one page.
@@ -450,7 +576,8 @@ class Ftl:
         self._check_lba(lba)
         self.stats.host_pages_read += 1
         self.energy.add_reads(1)
-        done = self.latency.host_read(now_ns, 1)
+        done = self._inject_host_spike(self.latency.host_read(now_ns, 1))
+        self._inject_read_faults(lba, 1, now_ns)
         return self._l2p[lba] >= 0, done
 
     def read_range(
@@ -469,7 +596,8 @@ class Ftl:
         all_mapped = all(
             self._l2p[cur] >= 0 for cur in range(lba, lba + npages)
         )
-        done = self.latency.host_read(now_ns, npages)
+        done = self._inject_host_spike(self.latency.host_read(now_ns, npages))
+        self._inject_read_faults(lba, npages, now_ns)
         return all_mapped, done
 
     def deallocate(self, lba: int, npages: int = 1) -> int:
@@ -500,6 +628,25 @@ class Ftl:
     def occupancy(self) -> float:
         """Fraction of physical pages currently holding live data."""
         return self.valid_page_total() / self.geometry.total_pages
+
+    @property
+    def retired_superblocks(self) -> int:
+        """Superblocks permanently lost to erase failures."""
+        return self.stats.superblocks_retired
+
+    def effective_op_fraction(self) -> float:
+        """Overprovisioning remaining after block retirement.
+
+        Retired blocks shrink the physical pool while advertised
+        capacity stays fixed, so effective OP = usable physical pages
+        over logical pages, minus one.  Shrinking OP is what couples
+        block retirement back into write amplification (GC has less
+        slack, victims are fuller).
+        """
+        usable = (
+            self.geometry.num_superblocks - self.stats.superblocks_retired
+        ) * self._pps
+        return usable / self.geometry.logical_pages - 1.0
 
     def wear_stats(self) -> WearStats:
         """Erase-count distribution (endurance telemetry)."""
@@ -532,10 +679,19 @@ class Ftl:
                 f"superblock {sb.index}: cached valid={sb.valid_pages} "
                 f"actual={per_block[sb.index]}"
             )
-            if sb.state is SuperblockState.FREE:
+            if sb.state in (SuperblockState.FREE, SuperblockState.RETIRED):
                 assert sb.valid_pages == 0, (
-                    f"free superblock {sb.index} has valid pages"
+                    f"{sb.state.value} superblock {sb.index} has valid pages"
                 )
+        retired = sum(
+            1
+            for sb in self.superblocks
+            if sb.state is SuperblockState.RETIRED
+        )
+        assert retired == self.stats.superblocks_retired, (
+            f"retired census {retired} != counter "
+            f"{self.stats.superblocks_retired}"
+        )
         free_set = set(self._free)
         assert len(free_set) == len(self._free), "duplicate free entries"
         for idx in free_set:

@@ -103,6 +103,16 @@ class LatencyModel:
         )
         return self._service(now_ns, dur)
 
+    def stall(self, now_ns: int, duration_ns: int) -> int:
+        """Occupy the timeline for an extra, op-shaped delay.
+
+        Used for injected latency spikes (firmware pauses, internal
+        housekeeping) that hold the device busy without moving data.
+        """
+        if duration_ns <= 0:
+            return max(now_ns, self.busy_until)
+        return self._service(now_ns, duration_ns)
+
     # -- background operations (GC) ----------------------------------
 
     def gc_migrate(self, now_ns: int, npages: int) -> int:

@@ -30,6 +30,17 @@ class StatsSnapshot:
     gc_victim_selections: int
     superblocks_erased: int
     pages_deallocated: int
+    # Media-failure counters (zero unless fault injection is enabled).
+    read_uecc_errors: int = 0
+    program_failures: int = 0
+    erase_failures: int = 0
+    superblocks_retired: int = 0
+    latency_spikes: int = 0
+
+    @property
+    def media_errors(self) -> int:
+        """Total media failures, SMART-log style."""
+        return self.read_uecc_errors + self.program_failures + self.erase_failures
 
     @property
     def dlwa(self) -> float:
@@ -59,6 +70,11 @@ class DeviceStats:
         "gc_victim_selections",
         "superblocks_erased",
         "pages_deallocated",
+        "read_uecc_errors",
+        "program_failures",
+        "erase_failures",
+        "superblocks_retired",
+        "latency_spikes",
     )
 
     def __init__(self) -> None:
@@ -74,6 +90,16 @@ class DeviceStats:
         self.gc_victim_selections = 0
         self.superblocks_erased = 0
         self.pages_deallocated = 0
+        self.read_uecc_errors = 0
+        self.program_failures = 0
+        self.erase_failures = 0
+        self.superblocks_retired = 0
+        self.latency_spikes = 0
+
+    @property
+    def media_errors(self) -> int:
+        """Total media failures (UECC + program + erase), SMART style."""
+        return self.read_uecc_errors + self.program_failures + self.erase_failures
 
     @property
     def dlwa(self) -> float:
@@ -93,4 +119,9 @@ class DeviceStats:
             gc_victim_selections=self.gc_victim_selections,
             superblocks_erased=self.superblocks_erased,
             pages_deallocated=self.pages_deallocated,
+            read_uecc_errors=self.read_uecc_errors,
+            program_failures=self.program_failures,
+            erase_failures=self.erase_failures,
+            superblocks_retired=self.superblocks_retired,
+            latency_spikes=self.latency_spikes,
         )

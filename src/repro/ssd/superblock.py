@@ -19,12 +19,16 @@ class SuperblockState(enum.Enum):
 
     FREE -> OPEN (attached to a write point) -> CLOSED (fully
     programmed) -> FREE again after erase.  Only CLOSED superblocks are
-    GC victims; OPEN ones are still receiving data.
+    GC victims; OPEN ones are still receiving data.  A failed erase
+    moves a CLOSED (and fully migrated) superblock to RETIRED — a
+    terminal state: the block leaves the allocation rotation forever,
+    shrinking the device's effective overprovisioning.
     """
 
     FREE = "free"
     OPEN = "open"
     CLOSED = "closed"
+    RETIRED = "retired"
 
 
 class Superblock:
@@ -105,6 +109,25 @@ class Superblock:
         self.stream = None
         self.write_ptr = 0
         self.erase_count += 1
+
+    def retire(self) -> None:
+        """Permanently remove the block from rotation (erase failure).
+
+        Only legal once GC has migrated every valid page out — the FTL
+        attempts the erase (and may fail it) only on empty victims.
+        """
+        if self.state is not SuperblockState.CLOSED:
+            raise RuntimeError(
+                f"superblock {self.index} retired while {self.state.value}"
+            )
+        if self.valid_pages != 0:
+            raise RuntimeError(
+                f"superblock {self.index} retired with "
+                f"{self.valid_pages} valid pages"
+            )
+        self.state = SuperblockState.RETIRED
+        self.stream = None
+        self.write_ptr = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

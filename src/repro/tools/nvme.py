@@ -123,6 +123,11 @@ def _cmd_smart(args: argparse.Namespace) -> int:
     print(f"mean erase count    : {sum(erases) / len(erases):.2f}")
     print(f"free superblocks    : {device.ftl.free_superblocks}")
     print(f"occupancy           : {device.ftl.occupancy():.1%}")
+    health = device.get_health_log()
+    print(f"media errors        : {health.media_errors}")
+    print(f"retired superblocks : {health.retired_superblocks}")
+    print(f"available spare     : {health.available_spare_pct:.1f}%")
+    print(f"percent used        : {health.percent_used:.1f}%")
     return 0
 
 
