@@ -2,16 +2,18 @@
 the scaled experiment builders every figure/table bench uses."""
 
 from .driver import CacheBench, ReplayConfig
-from .metrics import IntervalPoint, LatencyReservoir, RunResult
+from .metrics import CrashSoakResult, IntervalPoint, LatencyReservoir, RunResult
 from .plotting import ascii_chart, dlwa_timeline_chart
 from .runner import (
     CHAOS_SCALE,
+    CRASH_SCALE,
     DEFAULT_SCALE,
     Scale,
     build_experiment,
     default_chaos_config,
     make_trace,
     run_chaos_soak,
+    run_crash_soak,
     run_experiment,
 )
 
@@ -21,14 +23,17 @@ __all__ = [
     "IntervalPoint",
     "LatencyReservoir",
     "RunResult",
+    "CrashSoakResult",
     "ascii_chart",
     "dlwa_timeline_chart",
     "Scale",
     "DEFAULT_SCALE",
     "CHAOS_SCALE",
+    "CRASH_SCALE",
     "build_experiment",
     "make_trace",
     "run_experiment",
     "default_chaos_config",
     "run_chaos_soak",
+    "run_crash_soak",
 ]

@@ -23,7 +23,7 @@ import dataclasses
 from typing import Callable, List, Optional
 
 from ..cache.hybrid import HIT_DRAM, MISS, HybridCache
-from ..workloads.trace import OP_DEL, OP_GET, OP_SET, Trace
+from ..workloads.trace import OP_GET, OP_SET, Trace
 from .metrics import IntervalPoint, LatencyReservoir, RunResult, steady_state_dlwa
 
 __all__ = ["CacheBench", "ReplayConfig"]

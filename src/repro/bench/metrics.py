@@ -9,11 +9,16 @@ read/write latency, GC activity, and operational energy.
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 import numpy as np
 
-__all__ = ["LatencyReservoir", "IntervalPoint", "RunResult"]
+__all__ = [
+    "LatencyReservoir",
+    "IntervalPoint",
+    "RunResult",
+    "CrashSoakResult",
+]
 
 
 class LatencyReservoir:
@@ -141,6 +146,46 @@ class RunResult:
             f"drops={self.write_drops:<5} retries={self.io_retries:<5} "
             f"retired_sb={self.retired_superblocks:<3} "
             f"spare={self.available_spare_pct:5.1f}%"
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class CrashSoakResult:
+    """Outcome of one :func:`~repro.bench.runner.run_crash_soak` run.
+
+    The soak loops write → power-cut → recover → verify cycles and
+    reconciles the device's recovered L2P map against a host-side
+    shadow reference after every cut.  ``verified_cycles`` equals
+    ``cycles`` on success (the soak raises on the first divergence, so
+    a returned result *is* the pass certificate).
+    """
+
+    cycles: int
+    verified_cycles: int
+    power_cuts: int
+    scripted_cuts: int
+    inflight_cuts: int
+    quiescent_cuts: int
+    commands_issued: int
+    pages_written: int
+    pages_verified: int
+    pages_trimmed: int
+    torn_writes: int
+    torn_pages_discarded: int
+    mappings_recovered_total: int
+    journal_entries_replayed_total: int
+    final_mapped_pages: int
+    final_dlwa: float
+
+    def summary_row(self) -> str:
+        """One printable row, chaos-bench style."""
+        return (
+            f"crash-soak cycles={self.cycles} cuts={self.power_cuts} "
+            f"(scripted={self.scripted_cuts} inflight={self.inflight_cuts} "
+            f"quiescent={self.quiescent_cuts}) "
+            f"pages={self.pages_written} torn={self.torn_pages_discarded} "
+            f"recovered={self.mappings_recovered_total} "
+            f"DLWA={self.final_dlwa:5.2f}"
         )
 
 

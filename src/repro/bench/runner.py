@@ -14,28 +14,32 @@ constants live in exactly one place.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Optional, Tuple
+import random
+from typing import Dict, List, Optional, Tuple
 
 from ..cache.config import CacheConfig
 from ..cache.hybrid import HybridCache
 from ..faults.model import FaultConfig, HealthLogPage
-from ..faults.plan import ScriptedFault
+from ..faults.plan import OP_POWER, ScriptedFault
 from ..ssd.device import SimulatedSSD
+from ..ssd.errors import PowerLossError
 from ..ssd.geometry import Geometry
 from ..workloads.kvcache import kv_cache_trace, wo_kv_cache_trace
 from ..workloads.trace import Trace
 from ..workloads.twitter import twitter_cluster12_trace
 from .driver import CacheBench, ReplayConfig
-from .metrics import RunResult
+from .metrics import CrashSoakResult, RunResult
 
 __all__ = [
     "Scale",
     "DEFAULT_SCALE",
     "CHAOS_SCALE",
+    "CRASH_SCALE",
     "build_experiment",
     "run_experiment",
     "default_chaos_config",
     "run_chaos_soak",
+    "run_crash_soak",
 ]
 
 
@@ -254,3 +258,286 @@ def run_chaos_soak(
             f"below band {min_hit_ratio:.3f}"
         )
     return result, health
+
+
+# The crash soak shrinks the device further (16 MiB physical) so the
+# write phases overwrite it repeatedly: GC relocations must interleave
+# with the host writes the cuts tear, which is the hard case for L2P
+# reconstruction.
+CRASH_SCALE = Scale(num_superblocks=32)
+
+# One cut per cycle, rotating through the three cut modes.
+_CUT_MODES = ("scripted", "inflight", "quiescent")
+
+
+def _crash_soak_schedule(
+    rng: random.Random,
+    cycles: int,
+    commands_per_cycle: int,
+    span: int,
+    trim_fraction: float,
+) -> Tuple[List[dict], Tuple[ScriptedFault, ...]]:
+    """Precompute the soak's full command schedule and fault plan.
+
+    Scripted power cuts target absolute host page-program indices, so
+    the schedule must be fixed before the device exists; the execution
+    loop then replays it verbatim.  Returns ``(cycle_descriptors,
+    scripted_fault_entries)``.
+    """
+    plan: List[ScriptedFault] = []
+    schedule: List[dict] = []
+    attempts = 0  # global host page-program attempt counter
+    for c in range(cycles):
+        mode = _CUT_MODES[c % len(_CUT_MODES)]
+        commands: List[Tuple[str, int, int]] = []
+        cycle_attempts = 0
+        for _ in range(commands_per_cycle):
+            npages = rng.randrange(1, 9)
+            lba = rng.randrange(0, span - npages)
+            if rng.random() < trim_fraction:
+                commands.append(("trim", lba, npages))
+            else:
+                commands.append(("write", lba, npages))
+                cycle_attempts += npages
+        cut_attempt = None
+        if mode == "scripted" and cycle_attempts:
+            # The cut fires *during* this cycle's writes; everything
+            # scheduled after it is never issued.
+            cut_attempt = rng.randrange(1, cycle_attempts + 1)
+            plan.append(
+                ScriptedFault(op=OP_POWER, op_index=attempts + cut_attempt)
+            )
+            attempts += cut_attempt
+        else:
+            attempts += cycle_attempts
+        schedule.append(
+            {
+                "mode": mode,
+                "commands": commands,
+                "cut_attempt": cut_attempt,
+                # How many completion times back the in-flight cut
+                # rewinds the clock (drawn now for determinism).
+                "inflight_depth": rng.randrange(2, 7),
+            }
+        )
+    return schedule, tuple(plan)
+
+
+def run_crash_soak(
+    *,
+    cycles: int = 12,
+    commands_per_cycle: int = 96,
+    span: int = 1024,
+    trim_fraction: float = 0.08,
+    fdp: bool = True,
+    scale: Scale = CRASH_SCALE,
+    seed: int = 0xC0DE,
+    checkpoint_interval_pages: int = 768,
+    journal_flush_interval: int = 48,
+    verbose: bool = False,
+) -> CrashSoakResult:
+    """Write → power-cut → recover → verify soak against a shadow map.
+
+    Each cycle issues a seeded batch of multi-page writes (every write
+    carries a unique payload token) and TRIMs over a hot ``span`` of
+    LBAs, then cuts power in one of three rotating modes:
+
+    * ``scripted`` — a :data:`~repro.faults.plan.OP_POWER` plan entry
+      tears one write mid-command at a precomputed host page-program
+      index;
+    * ``inflight`` — :meth:`~repro.ssd.device.SimulatedSSD.power_cut`
+      at a point before recent completions, so the device tears the
+      in-flight window at its seed-driven tear point;
+    * ``quiescent`` — a cut with nothing in flight.
+
+    After every recovery the device's L2P map is reconciled *exactly*
+    against the host-side shadow reference: every acknowledged write
+    (and the durable prefix of each torn one, per the cut report) must
+    be present with its token, and nothing else may be mapped.  Any
+    divergence — a lost acknowledged write or a phantom mapping —
+    raises ``AssertionError``.  FTL invariants and stats/DLWA
+    accounting are checked after every cycle.
+
+    The defaults give 12 cuts (4 per mode) on a device small enough
+    that GC interleaves with the torn writes.  Returns a
+    :class:`~repro.bench.metrics.CrashSoakResult`.
+    """
+    if cycles < 1:
+        raise ValueError("cycles must be positive")
+    if span < 16:
+        raise ValueError("span must be at least 16 LBAs")
+    geometry = scale.geometry()
+    if span > geometry.logical_pages:
+        raise ValueError("span exceeds the device's logical capacity")
+    rng = random.Random(seed)
+    schedule, plan = _crash_soak_schedule(
+        rng, cycles, commands_per_cycle, span, trim_fraction
+    )
+    device = SimulatedSSD(
+        geometry,
+        fdp=fdp,
+        faults=FaultConfig(plan=plan) if plan else None,
+        checkpoint_interval_pages=checkpoint_interval_pages,
+        journal_flush_interval=journal_flush_interval,
+    )
+
+    shadow: Dict[int, object] = {}  # lba -> payload token of durable data
+    counters = {
+        "scripted": 0,
+        "inflight": 0,
+        "quiescent": 0,
+        "commands": 0,
+        "pages_written": 0,
+        "pages_verified": 0,
+        "pages_trimmed": 0,
+        "torn_writes": 0,
+        "mappings_recovered": 0,
+        "journal_replayed": 0,
+        "verified_cycles": 0,
+    }
+    now = 0
+    token_counter = 0
+    for c, cycle in enumerate(schedule):
+        # Issue phase.  ``issued`` tracks this cycle's write commands as
+        # (lba, npages, token, prev-contents, completion_ns) so a torn
+        # suffix can be reverted exactly.
+        issued: List[Tuple[int, int, object, Tuple[object, ...], int]] = []
+        cut_exc: Optional[PowerLossError] = None
+        for op, lba, npages in cycle["commands"]:
+            counters["commands"] += 1
+            if op == "trim":
+                device.deallocate(lba, npages)
+                for i in range(npages):
+                    if shadow.pop(lba + i, None) is not None:
+                        counters["pages_trimmed"] += 1
+                continue
+            token_counter += 1
+            token = ("crash-soak", c, token_counter)
+            prev = tuple(shadow.get(lba + i) for i in range(npages))
+            try:
+                now = device.write(lba, npages, now_ns=now, payload=token)
+            except PowerLossError as exc:
+                cut_exc = exc
+                # Only the durable prefix of the torn command landed.
+                for i in range(exc.pages_durable):
+                    shadow[lba + i] = token
+                    counters["pages_written"] += 1
+                break
+            issued.append((lba, npages, token, prev, now))
+            for i in range(npages):
+                shadow[lba + i] = token
+            counters["pages_written"] += npages
+
+        # Cut phase.
+        mode = cycle["mode"]
+        if mode == "scripted" and cycle["cut_attempt"] is None:
+            # Degenerate all-TRIM cycle: nothing to tear, cut quiescent.
+            mode = "quiescent"
+        if mode == "scripted":
+            if cut_exc is None:
+                raise AssertionError(
+                    f"cycle {c}: scripted power cut never fired"
+                )
+            counters["torn_writes"] += 1
+        elif mode == "inflight":
+            depth = min(cycle["inflight_depth"], len(issued))
+            cut_ns = issued[-depth][4] - 1 if depth else None
+            report = device.power_cut(cut_ns)
+            # Torn commands are an exact suffix of the issue order (a
+            # single tear point cannot skip a command), so the report
+            # reconciles against the last len(torn_writes) issues,
+            # reverted newest-first.
+            torn = report.torn_writes
+            counters["torn_writes"] += sum(
+                1 for t in torn if t.pages_durable < t.npages
+            )
+            for k in range(len(torn) - 1, -1, -1):
+                lba, npages, token, prev, _ = issued[-len(torn) + k]
+                t = torn[k]
+                if (t.lba, t.npages) != (lba, npages):
+                    raise AssertionError(
+                        f"cycle {c}: torn-write report mismatch: "
+                        f"device says ({t.lba},{t.npages}), "
+                        f"host issued ({lba},{npages})"
+                    )
+                for i in range(t.pages_durable, npages):
+                    if prev[i] is None:
+                        shadow.pop(lba + i, None)
+                    else:
+                        shadow[lba + i] = prev[i]
+                    counters["pages_written"] -= 1
+        else:
+            device.power_cut()
+        counters[mode] += 1
+
+        # Recover and verify.
+        stats_before = device.snapshot()
+        recovery = device.recover()
+        counters["mappings_recovered"] += recovery.mappings_recovered
+        counters["journal_replayed"] += recovery.journal_entries_replayed
+        device.check_invariants()
+
+        observed = device.read_payload(0, span)
+        for lba in range(span):
+            expect = shadow.get(lba)
+            if observed[lba] != expect:
+                raise AssertionError(
+                    f"cycle {c} ({mode}): L2P divergence at LBA {lba}: "
+                    f"device holds {observed[lba]!r}, shadow expects "
+                    f"{expect!r} — "
+                    + (
+                        "lost acknowledged write"
+                        if expect is not None
+                        else "phantom mapping"
+                    )
+                )
+            counters["pages_verified"] += 1
+        mapped = sum(1 for p in observed if p is not None)
+        if mapped != len(shadow):
+            raise AssertionError(
+                f"cycle {c}: mapped-page count {mapped} != shadow "
+                f"{len(shadow)}"
+            )
+
+        # Accounting must survive the cut: cumulative counters never
+        # move backwards and the crash counters advance in lockstep.
+        stats_after = device.snapshot()
+        if stats_after.host_pages_written < stats_before.host_pages_written:
+            raise AssertionError("host write accounting regressed")
+        if stats_after.nand_pages_written < stats_before.nand_pages_written:
+            raise AssertionError("NAND write accounting regressed")
+        if stats_after.power_cuts != c + 1 or stats_after.recoveries != c + 1:
+            raise AssertionError(
+                f"cycle {c}: crash counters out of step "
+                f"(cuts={stats_after.power_cuts}, "
+                f"recoveries={stats_after.recoveries})"
+            )
+        if device.dlwa < 1.0 and stats_after.host_pages_written:
+            raise AssertionError(f"impossible DLWA {device.dlwa}")
+        counters["verified_cycles"] += 1
+        if verbose:
+            print(
+                f"cycle {c:2d} {mode:<9} mapped={mapped:5d} "
+                f"recovered={recovery.mappings_recovered:5d} "
+                f"torn={device.stats.torn_pages_discarded:4d} "
+                f"dlwa={device.dlwa:5.2f}"
+            )
+
+    return CrashSoakResult(
+        cycles=cycles,
+        verified_cycles=counters["verified_cycles"],
+        power_cuts=device.stats.power_cuts,
+        scripted_cuts=counters["scripted"],
+        inflight_cuts=counters["inflight"],
+        quiescent_cuts=counters["quiescent"],
+        commands_issued=counters["commands"],
+        pages_written=counters["pages_written"],
+        pages_verified=counters["pages_verified"],
+        pages_trimmed=counters["pages_trimmed"],
+        torn_writes=counters["torn_writes"],
+        torn_pages_discarded=device.stats.torn_pages_discarded,
+        mappings_recovered_total=counters["mappings_recovered"],
+        journal_entries_replayed_total=counters["journal_replayed"],
+        final_mapped_pages=len(shadow),
+        final_dlwa=device.dlwa,
+    )

@@ -65,6 +65,13 @@ class CacheConfig:
     io_read_retries: int = 3
     io_write_retries: int = 1
     io_retry_backoff_ns: int = 100_000
+    # Warm restart: when True (default), engine flushes carry their
+    # self-describing metadata (sealed-region headers, bucket
+    # checksums) in the device's out-of-band area so
+    # :meth:`~repro.cache.hybrid.HybridCache.recover` can rebuild the
+    # flash indexes after a power cut.  Turning it off reproduces a
+    # cold-restart-only deployment.
+    persist_engine_metadata: bool = True
 
     def __post_init__(self) -> None:
         if self.dram_bytes <= 0:

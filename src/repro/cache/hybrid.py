@@ -21,7 +21,7 @@ patterns whose intermixing the paper studies.
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional, Tuple
+from typing import Optional
 
 from ..core.device_layer import FdpAwareDevice
 from ..core.placement import PlacementHandle
@@ -142,6 +142,7 @@ class HybridCache:
                 log_pages,
                 max(1, soc_pages - log_pages),
                 move_threshold=config.kangaroo_move_threshold,
+                persist_metadata=config.persist_engine_metadata,
             )
         else:
             self.soc = SmallObjectCache(
@@ -149,6 +150,7 @@ class HybridCache:
                 self.policy.handle_for(soc_name),
                 soc_base,
                 max(1, soc_pages),
+                persist_metadata=config.persist_engine_metadata,
             )
         self.loc = LargeObjectCache(
             io,
@@ -158,6 +160,7 @@ class HybridCache:
             region_pages,
             eviction=config.loc_eviction,
             ru_aware_trim=config.ru_aware_trim,
+            persist_metadata=config.persist_engine_metadata,
         )
         self._meta_base = meta_base
         self._meta_counter = 0
@@ -288,6 +291,55 @@ class HybridCache:
         _, done = self.soc.delete(key, now_ns)
         self.loc.delete(key, done)
         return done
+
+    # ------------------------------------------------------------------
+    # warm restart
+    # ------------------------------------------------------------------
+
+    def recover(self, now_ns: Optional[int] = None) -> dict:
+        """Warm-restart the cache after a power cut.
+
+        Runs the device's own power-on recovery first (if it is still
+        dark), then rebuilds every DRAM-side structure from what the
+        media durably holds: the DRAM LRU front restarts empty (its
+        contents were volatile by definition), the SOC re-reads its
+        bucket headers, and the LOC re-reads its sealed-region
+        manifests.  Items that only existed in DRAM, in the LOC's open
+        region buffer, or on torn flash pages are gone — counted, not
+        resurrected.
+
+        Returns a JSON-serializable report with per-layer recovered
+        counts, the totals lost relative to the pre-cut cache, and the
+        device's own :class:`~repro.ssd.recovery.RecoveryReport`
+        numbers.
+        """
+        items_before = (
+            len(self.dram) + self.soc.item_count + self.loc.item_count
+        )
+        device_report = None
+        if self.device.powered_off:
+            device_report = self.device.recover(now_ns)
+        self.dram = DramCache(self.config.dram_bytes)
+        soc_report = self.soc.recover()
+        loc_report = self.loc.recover()
+        recovered = self.soc.item_count + self.loc.item_count
+        report = {
+            "items_before": items_before,
+            "items_recovered": recovered,
+            "items_lost": max(0, items_before - recovered),
+            "soc": soc_report,
+            "loc": loc_report,
+        }
+        if device_report is not None:
+            report["device"] = {
+                "mappings_recovered": device_report.mappings_recovered,
+                "torn_pages_discarded": device_report.torn_pages_discarded,
+                "journal_entries_replayed": (
+                    device_report.journal_entries_replayed
+                ),
+                "checkpoint_seq": device_report.checkpoint_seq,
+            }
+        return report
 
     # ------------------------------------------------------------------
     # metrics

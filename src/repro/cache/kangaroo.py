@@ -59,6 +59,10 @@ class KangarooCache:
         Minimum staged items per destination bucket for a batch move;
         buckets with fewer pending items have them dropped, trading
         hit ratio for write reduction (Kangaroo's key knob).
+    persist_metadata:
+        Write per-page log headers (and bucket headers in the embedded
+        KSet) into the out-of-band area so :meth:`recover` can
+        warm-restart after a power cut.
     """
 
     def __init__(
@@ -71,6 +75,7 @@ class KangarooCache:
         num_buckets: int,
         *,
         move_threshold: int = 2,
+        persist_metadata: bool = True,
     ) -> None:
         if num_log_pages < 2:
             raise ValueError("KLog needs at least 2 pages")
@@ -83,11 +88,15 @@ class KangarooCache:
         self.move_threshold = move_threshold
         self.page_size = device.ssd.page_size
 
+        self.persist_metadata = persist_metadata
+        self._flush_seq = 0
+
         self.sets = SmallObjectCache(
             device,
             set_handle,
             base_lba + num_log_pages,
             num_buckets,
+            persist_metadata=persist_metadata,
         )
 
         # KLog state: a ring of pages; each holds an item list.  The
@@ -200,9 +209,26 @@ class KangarooCache:
 
     def _flush_head(self, now_ns: int) -> int:
         """Write the filled head page and advance the ring."""
+        payload = None
+        if self.persist_metadata:
+            # Log-page header: flush sequence + staged-item manifest.
+            # A torn flush leaves no verifying header; recover() then
+            # treats the page's items as lost, like a failed write.
+            self._flush_seq += 1
+            payload = (
+                "klog",
+                self._head,
+                self._flush_seq,
+                tuple(
+                    (item.key, item.size)
+                    for item in self._log_pages[self._head]
+                    if self._log_index.get(item.key) == self._head
+                ),
+            )
         try:
             done = self.device.write(
-                self._log_lba(self._head), 1, self.log_handle, now_ns
+                self._log_lba(self._head), 1, self.log_handle, now_ns,
+                payload=payload,
             )
         except MediaError:
             # The head page never reached flash: its staged items are
@@ -322,3 +348,73 @@ class KangarooCache:
             item for item in self._log_pages[page] if item.key != key
         ]
         return True
+
+    # ------------------------------------------------------------------
+    # warm restart
+    # ------------------------------------------------------------------
+
+    def recover(self) -> Dict[str, int]:
+        """Rebuild KLog staging and the KSet from flash headers.
+
+        Call after the device's power-on recovery.  Flushed log pages
+        with verifying headers come back with their staged items (a key
+        on several pages resolves to the newest flush); the DRAM-
+        buffered head page is always lost, and the ring resumes right
+        after the newest durable flush.  The embedded KSet recovers its
+        buckets through :meth:`SmallObjectCache.recover`.
+        """
+        self._log_index.clear()
+        for page in range(self.num_log_pages):
+            self._log_pages[page] = []
+
+        flushed = []  # (flush_seq, page, manifest)
+        log_lost = 0
+        for page in range(self.num_log_pages):
+            payload = self.device.read_payload(self._log_lba(page), 1)[0]
+            valid = (
+                self.persist_metadata
+                and isinstance(payload, tuple)
+                and len(payload) == 4
+                and payload[0] == "klog"
+                and payload[1] == page
+            )
+            if valid:
+                flushed.append((payload[2], page, payload[3]))
+            elif payload is not None:
+                log_lost += 1
+        flushed.sort()
+        log_items = 0
+        for seq, page, manifest in flushed:
+            for key, size in manifest:
+                stale = self._log_index.get(key)
+                if stale is not None:
+                    self._log_pages[stale] = [
+                        it for it in self._log_pages[stale] if it.key != key
+                    ]
+                self._log_pages[page].append(CacheItem(key, size))
+                self._log_index[key] = page
+                log_items += 1
+        self._flush_seq = flushed[-1][0] if flushed else 0
+
+        # Resume the ring after the newest durable flush.  The slot the
+        # head lands on is about to be refilled, so its previous-trip
+        # items (if any were recovered) are dropped now rather than
+        # mixed with fresh inserts.
+        if flushed:
+            self._head = (flushed[-1][1] + 1) % self.num_log_pages
+        else:
+            self._head = 0
+        self._head_bytes = 0
+        if self._log_pages[self._head]:
+            self._drop_log_page(self._head)
+
+        set_report = self.sets.recover()
+        return {
+            "log_pages_recovered": len(flushed),
+            "log_pages_lost": log_lost,
+            "log_items_recovered": len(self._log_index),
+            "items_recovered": len(self._log_index)
+            + set_report["items_recovered"],
+            "buckets_recovered": set_report["buckets_recovered"],
+            "buckets_dropped": set_report["buckets_dropped"],
+        }

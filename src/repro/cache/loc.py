@@ -13,6 +13,17 @@ Mirrors CacheLib's LOC (Section 2.3):
   invalidating the old data in the FTL without any GC help.
 * A DRAM index maps key → region (this is the LOC's DRAM overhead the
   paper contrasts against the SOC's near-zero tracking cost).
+* *Warm restart* (CacheLib persists its region index across planned
+  shutdowns; crash recovery here goes further): each region flush
+  carries a sealed-region header — region id, monotonically increasing
+  seal sequence, and the key manifest — in the device's out-of-band
+  metadata.  :meth:`LargeObjectCache.recover` re-reads those headers
+  after a power cut, keeps every region whose pages all carry the same
+  complete header (a torn flush fails this check), rebuilds the DRAM
+  index from the manifests in seal order, and recycles everything
+  else.  The open region's buffered items were DRAM-only and are
+  always lost — exactly CacheLib's crash semantics for unflushed
+  regions.
 
 An optional *RU-size-aware eviction* mode implements the paper's
 "lesson learned 1": when recycling, evict enough adjacent regions to
@@ -72,6 +83,10 @@ class LargeObjectCache:
     ru_aware_trim:
         Enable lesson-1 behaviour: TRIM recycled regions so fully dead
         reclaim units are released without GC.
+    persist_metadata:
+        Write sealed-region headers into the out-of-band area on every
+        flush so :meth:`recover` can warm-restart after a power cut.
+        Off reproduces a cold-restart-only deployment.
     """
 
     def __init__(
@@ -84,6 +99,7 @@ class LargeObjectCache:
         *,
         eviction: str = EVICTION_FIFO,
         ru_aware_trim: bool = False,
+        persist_metadata: bool = True,
     ) -> None:
         if num_regions < 2:
             raise ValueError("LOC needs at least 2 regions (1 open + 1 sealed)")
@@ -99,6 +115,8 @@ class LargeObjectCache:
         self.region_bytes = region_pages * device.ssd.page_size
         self.eviction = eviction
         self.ru_aware_trim = ru_aware_trim
+        self.persist_metadata = persist_metadata
+        self._seal_seq = 0
 
         self.regions = [Region(i) for i in range(num_regions)]
         self._clean: Deque[int] = collections.deque(range(1, num_regions))
@@ -155,12 +173,32 @@ class LargeObjectCache:
         # would keep migrating.
         pages = self.region_pages if region.used_bytes else 0
         if pages:
+            payload = None
+            if self.persist_metadata:
+                # Sealed-region header: the key manifest travels in the
+                # OOB area of every page of the flush command.  A torn
+                # flush leaves pages without (or with partial) headers,
+                # which recover() detects and discards.
+                self._seal_seq += 1
+                manifest = {}
+                for key in region.keys:
+                    entry = self.index.get(key)
+                    if entry is not None and entry[0] == region.region_id:
+                        manifest[key] = entry[1]
+                payload = (
+                    "loc",
+                    region.region_id,
+                    self._seal_seq,
+                    region.used_bytes,
+                    tuple(manifest.items()),
+                )
             try:
                 self.device.write(
                     self._region_lba(region.region_id),
                     pages,
                     self.handle,
                     now_ns,
+                    payload=payload,
                 )
             except MediaError:
                 # The region buffer never made it to flash.  Drop its
@@ -279,6 +317,85 @@ class LargeObjectCache:
         if self.index.pop(key, None) is None:
             return False, now_ns
         return True, now_ns
+
+    # ------------------------------------------------------------------
+    # warm restart
+    # ------------------------------------------------------------------
+
+    def recover(self) -> Dict[str, int]:
+        """Rebuild the key→region index from sealed-region headers.
+
+        Call after the device's own power-on recovery.  A region is
+        kept only when *every* one of its pages carries the same
+        complete header for that region id — a torn flush (power cut
+        mid-region-write) fails the check and the region is recycled,
+        its leftover pages TRIMmed.  Intact regions are replayed in
+        seal-sequence order, so a key present in several generations
+        resolves to its newest durable copy.  Returns counters:
+        ``regions_recovered``, ``regions_lost``, ``items_recovered``.
+        """
+        for region in self.regions:
+            region.reset()
+        self.index.clear()
+        self._sealed.clear()
+        self._clean.clear()
+
+        intact: List[Tuple[int, int, int, tuple]] = []  # (seq, rid, used, manifest)
+        lost = 0
+        for rid in range(self.num_regions):
+            payloads = self.device.read_payload(
+                self._region_lba(rid), self.region_pages
+            )
+            first = payloads[0]
+            complete = (
+                self.persist_metadata
+                and isinstance(first, tuple)
+                and len(first) == 5
+                and first[0] == "loc"
+                and first[1] == rid
+                and all(p == first for p in payloads)
+            )
+            if complete:
+                intact.append((first[2], rid, first[3], first[4]))
+                continue
+            if any(p is not None for p in payloads):
+                # Torn or stale pages: drop them so the device stops
+                # carrying dead data for a region we no longer trust.
+                self.device.deallocate(self._region_lba(rid), self.region_pages)
+                lost += 1
+            self._clean.append(rid)
+
+        items = 0
+        intact.sort()
+        for seq, rid, used, manifest in intact:
+            region = self.regions[rid]
+            region.used_bytes = used
+            region.sealed = True
+            region.last_access = seq
+            for key, size in manifest:
+                stale = self.index.get(key)
+                if stale is not None:
+                    # Older generation loses; its bytes stay dead weight
+                    # in the older region until recycle, as in live
+                    # operation.
+                    self.regions[stale[0]].keys.remove(key)
+                self.index[key] = (rid, size)
+                region.keys.append(key)
+                items += 1
+            self._sealed.append(rid)
+        self._seal_seq = intact[-1][0] if intact else 0
+        self._ticks = self._seal_seq + 1
+
+        if not self._clean:
+            self._evict_one_region()
+        self._open = self.regions[self._clean.popleft()]
+        self._open.reset()
+        return {
+            "regions_recovered": len(intact),
+            "regions_lost": lost,
+            "items_recovered": len(self.index),
+            "items_reinserted": items,
+        }
 
     # ------------------------------------------------------------------
 

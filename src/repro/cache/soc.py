@@ -18,12 +18,24 @@ The simulator keeps bucket contents (key → size) in memory as ground
 truth, but charges flash I/O exactly as the real engine would: a page
 write per insert/delete, and a page read per lookup that survives the
 bloom filter.
+
+*Warm restart*: each bucket rewrite carries the bucket's on-flash
+header — bucket number, generation, and entry manifest, standing in
+for the real engine's generation+checksum header — in the device's
+out-of-band metadata.  Because a bucket is one NAND page and page
+programs are atomic-or-torn, a power cut mid-rewrite leaves either the
+previous generation (old header verifies, old contents recovered) or a
+torn page (header check fails, bucket comes back empty).
+:meth:`SmallObjectCache.recover` re-reads every bucket header after
+the device's power-on recovery, rebuilds contents and bloom filters
+from verified headers, and drops the rest — no stale "maybe" answers
+against pages that did not survive.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..core.device_layer import FdpAwareDevice
 from ..core.placement import PlacementHandle
@@ -52,6 +64,10 @@ class SmallObjectCache:
     num_buckets:
         Bucket count; the SOC occupies ``num_buckets`` pages starting
         at ``base_lba`` (bucket size == page size).
+    persist_metadata:
+        Write the bucket header (generation + manifest) into the
+        out-of-band area on every rewrite so :meth:`recover` can
+        warm-restart after a power cut.
     """
 
     def __init__(
@@ -63,6 +79,7 @@ class SmallObjectCache:
         *,
         bloom_bits: int = 64,
         bloom_hashes: int = 4,
+        persist_metadata: bool = True,
     ) -> None:
         if num_buckets <= 0:
             raise ValueError("num_buckets must be positive")
@@ -81,6 +98,9 @@ class SmallObjectCache:
         self._blooms: List[BloomFilter] = [
             BloomFilter(bloom_bits, bloom_hashes) for _ in range(num_buckets)
         ]
+        self.persist_metadata = persist_metadata
+        # Per-bucket rewrite generation, part of the on-flash header.
+        self._generations: List[int] = [0] * num_buckets
         # engine statistics
         self.inserts = 0
         self.lookups = 0
@@ -138,9 +158,19 @@ class SmallObjectCache:
         drops the bucket rather than raising: the engine keeps serving,
         the lost entries simply re-enter as misses later.
         """
+        payload = None
+        if self.persist_metadata:
+            self._generations[bucket] += 1
+            payload = (
+                "soc",
+                bucket,
+                self._generations[bucket],
+                tuple(self._buckets[bucket].items()),
+            )
         try:
             done = self.device.write(
-                self.base_lba + bucket, 1, self.handle, now_ns
+                self.base_lba + bucket, 1, self.handle, now_ns,
+                payload=payload,
             )
         except MediaError:
             self.write_errors += 1
@@ -268,6 +298,53 @@ class SmallObjectCache:
         self._used[bucket] -= nbytes
         done = self._write_bucket(bucket, now_ns)
         return True, done
+
+    # ------------------------------------------------------------------
+    # warm restart
+    # ------------------------------------------------------------------
+
+    def recover(self) -> Dict[str, int]:
+        """Rebuild bucket contents and bloom filters from flash headers.
+
+        Call after the device's power-on recovery.  A bucket is kept
+        only when its page survived and carries a verifying header for
+        that bucket number — a torn rewrite leaves either the previous
+        generation (recovered) or nothing (dropped, bloom cleared).
+        Returns counters: ``buckets_recovered``, ``buckets_dropped``,
+        ``items_recovered``.
+        """
+        recovered = dropped = items = 0
+        for bucket in range(self.num_buckets):
+            entries = self._buckets[bucket]
+            had_entries = bool(entries)
+            entries.clear()
+            self._used[bucket] = 0
+            payload = self.device.read_payload(self.base_lba + bucket, 1)[0]
+            valid = (
+                self.persist_metadata
+                and isinstance(payload, tuple)
+                and len(payload) == 4
+                and payload[0] == "soc"
+                and payload[1] == bucket
+            )
+            if valid:
+                _, _, generation, manifest = payload
+                self._generations[bucket] = generation
+                for key, nbytes in manifest:
+                    entries[key] = nbytes
+                    self._used[bucket] += nbytes
+                self._blooms[bucket].rebuild(entries.keys())
+                recovered += 1
+                items += len(entries)
+            else:
+                self._blooms[bucket].rebuild(())
+                if had_entries or payload is not None:
+                    dropped += 1
+        return {
+            "buckets_recovered": recovered,
+            "buckets_dropped": dropped,
+            "items_recovered": items,
+        }
 
     # ------------------------------------------------------------------
 

@@ -171,6 +171,7 @@ class FdpAwareDevice:
         handle: PlacementHandle = DEFAULT_HANDLE,
         now_ns: int = 0,
         worker: str = "worker-0",
+        payload: object = None,
     ) -> int:
         """Submit a tagged write; returns simulated completion time.
 
@@ -178,7 +179,14 @@ class FdpAwareDevice:
         is resubmitted up to ``max_write_retries`` times with backoff;
         a command that still fails re-raises
         :class:`~repro.faults.errors.ProgramFailError` for the engine
-        to drop or requeue the eviction.
+        to drop or requeue the eviction.  A
+        :class:`~repro.ssd.errors.PowerLossError` (scripted power cut
+        mid-command) is *not* retried — the device is dark.
+
+        ``payload`` rides in the pages' out-of-band metadata (see
+        :meth:`repro.ssd.device.SimulatedSSD.write`); cache engines use
+        it to persist the sealed-region / bucket self-description that
+        warm restart recovers from.
         """
         q = self.queue(worker)
         q.submit()
@@ -188,7 +196,7 @@ class FdpAwareDevice:
         try:
             for attempt in range(self.max_write_retries + 1):
                 try:
-                    done = self.ssd.write(lba, npages, pid, now_ns)
+                    done = self.ssd.write(lba, npages, pid, now_ns, payload)
                     break
                 except ProgramFailError:
                     q.write_errors += 1
@@ -251,6 +259,15 @@ class FdpAwareDevice:
     def deallocate(self, lba: int, npages: int = 1) -> int:
         """TRIM a range through the device layer."""
         return self.ssd.deallocate(lba, npages)
+
+    def read_payload(self, lba: int, npages: int = 1):
+        """Per-page payload objects for a range (no I/O cost).
+
+        Recovery-path accessor: what the media durably holds for these
+        LBAs, with ``None`` for unmapped or torn pages.  Works while
+        the device is powered off.
+        """
+        return self.ssd.read_payload(lba, npages)
 
     # -- telemetry ----------------------------------------------------
 

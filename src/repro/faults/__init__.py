@@ -10,13 +10,22 @@ and the cache engines.
 """
 
 from .errors import (
+    DeviceOfflineError,
     EraseFailError,
     MediaError,
+    PowerLossError,
     ProgramFailError,
     UncorrectableReadError,
 )
 from .model import FaultConfig, FaultModel, HealthLogPage
-from .plan import OP_ERASE, OP_PROGRAM, OP_READ, FaultPlan, ScriptedFault
+from .plan import (
+    OP_ERASE,
+    OP_POWER,
+    OP_PROGRAM,
+    OP_READ,
+    FaultPlan,
+    ScriptedFault,
+)
 
 __all__ = [
     "FaultConfig",
@@ -27,8 +36,11 @@ __all__ = [
     "OP_READ",
     "OP_PROGRAM",
     "OP_ERASE",
+    "OP_POWER",
     "MediaError",
     "UncorrectableReadError",
     "ProgramFailError",
     "EraseFailError",
+    "PowerLossError",
+    "DeviceOfflineError",
 ]

@@ -19,8 +19,10 @@ existing ``except SsdError`` handlers keep working.
 from __future__ import annotations
 
 from ..ssd.errors import (
+    DeviceOfflineError,
     EraseFailError,
     MediaError,
+    PowerLossError,
     ProgramFailError,
     UncorrectableReadError,
 )
@@ -30,4 +32,6 @@ __all__ = [
     "UncorrectableReadError",
     "ProgramFailError",
     "EraseFailError",
+    "PowerLossError",
+    "DeviceOfflineError",
 ]

@@ -24,9 +24,16 @@ from __future__ import annotations
 
 import dataclasses
 import random
-from typing import Optional, Tuple
+from typing import Tuple
 
-from .plan import OP_ERASE, OP_PROGRAM, OP_READ, FaultPlan, ScriptedFault
+from .plan import (
+    OP_ERASE,
+    OP_POWER,
+    OP_PROGRAM,
+    OP_READ,
+    FaultPlan,
+    ScriptedFault,
+)
 
 __all__ = ["FaultConfig", "FaultModel", "HealthLogPage"]
 
@@ -112,6 +119,12 @@ class HealthLogPage:
     latency_spikes: int
     available_spare_pct: float
     percent_used: float
+    # Endurance rating the percent_used gauge was computed against.
+    rated_pe_cycles: int = 3000
+    # Crash-consistency counters (unsafe shutdowns, NVMe SMART-style).
+    power_cuts: int = 0
+    recoveries: int = 0
+    torn_pages_discarded: int = 0
 
     @property
     def healthy(self) -> bool:
@@ -141,6 +154,7 @@ class FaultModel:
         self.read_ops = 0
         self.program_ops = 0
         self.erase_ops = 0
+        self.host_program_ops = 0
         # Injection tallies (the device's stats counters are the
         # authoritative health-log source; these let the model be
         # inspected standalone).
@@ -148,6 +162,7 @@ class FaultModel:
         self.programs_failed = 0
         self.erases_failed = 0
         self.spikes_fired = 0
+        self.power_cuts_fired = 0
 
     # ------------------------------------------------------------------
 
@@ -193,6 +208,22 @@ class FaultModel:
             return True
         return False
 
+    def power_loss_on_program(self) -> bool:
+        """Whether power dies during this host page program.
+
+        Purely scripted (no probabilistic rate and no RNG draw — a
+        power-loss plan never perturbs the media-fault streams).  The
+        counter tracks *host* page programs only; GC programs are
+        power-loss-protected (capacitor-backed) and do not advance it.
+        """
+        self.host_program_ops += 1
+        if not self.plan.has(OP_POWER):
+            return False
+        if self.plan.take(OP_POWER, op_index=self.host_program_ops):
+            self.power_cuts_fired += 1
+            return True
+        return False
+
     def latency_spike(self) -> int:
         """Extra service nanoseconds for one host command (0 = none)."""
         rate = self.config.latency_spike_rate
@@ -212,6 +243,7 @@ class FaultModel:
             "programs_failed": self.programs_failed,
             "erases_failed": self.erases_failed,
             "spikes_fired": self.spikes_fired,
+            "power_cuts_fired": self.power_cuts_fired,
             "scripted_fired": self.plan.fired,
             "scripted_pending": self.plan.pending,
         }

@@ -16,13 +16,23 @@ from __future__ import annotations
 import dataclasses
 from typing import Iterable, List, Optional, Tuple
 
-__all__ = ["ScriptedFault", "FaultPlan", "OP_READ", "OP_PROGRAM", "OP_ERASE"]
+__all__ = [
+    "ScriptedFault",
+    "FaultPlan",
+    "OP_READ",
+    "OP_PROGRAM",
+    "OP_ERASE",
+    "OP_POWER",
+]
 
 OP_READ = "read"
 OP_PROGRAM = "program"
 OP_ERASE = "erase"
+# Power loss scripted against the host page-program counter: the cut
+# fires *during* the Nth host page program, tearing that command.
+OP_POWER = "power_loss"
 
-_VALID_OPS = (OP_READ, OP_PROGRAM, OP_ERASE)
+_VALID_OPS = (OP_READ, OP_PROGRAM, OP_ERASE, OP_POWER)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -45,7 +55,9 @@ class ScriptedFault:
         For read/program faults: fail operations touching this LBA.
     op_index:
         Fail the Nth operation of this class (1-based, per-class
-        counter).  Combines with ``lba`` conjunctively.
+        counter).  Combines with ``lba`` conjunctively.  Power-loss
+        entries count *host* page programs, so a plan can script "cut
+        the power during the 5000th host page".
     times:
         How many matching operations fail before the entry is spent
         (default 1).  Repeated read failures at one LBA are how a test
@@ -70,6 +82,16 @@ class ScriptedFault:
             self.superblock is not None or self.cycle is not None
         ):
             raise ValueError("superblock/cycle only apply to erase faults")
+        if self.op == OP_POWER:
+            if self.lba is not None:
+                raise ValueError(
+                    "power-loss faults target host program indices, not LBAs"
+                )
+            if self.times != 1:
+                raise ValueError(
+                    "a power-loss entry fires once; script several entries "
+                    "for several cuts"
+                )
 
     def matches(
         self,
@@ -100,6 +122,7 @@ class FaultPlan:
     def __init__(self, faults: Iterable[ScriptedFault] = ()) -> None:
         self._entries: List[ScriptedFault] = list(faults)
         self._remaining: List[int] = [f.times for f in self._entries]
+        self._ops = frozenset(f.op for f in self._entries)
         self.fired = 0
 
     def __len__(self) -> int:
@@ -109,6 +132,22 @@ class FaultPlan:
     def pending(self) -> int:
         """Scripted firings not yet consumed."""
         return sum(self._remaining)
+
+    def has(self, op: str) -> bool:
+        """Whether any entry (live or spent) targets this op class.
+
+        Cheap pre-check for per-operation hot paths: the FTL skips the
+        power-loss plan walk entirely when no cut is scripted.
+        """
+        return op in self._ops
+
+    def pending_for(self, op: str) -> int:
+        """Unconsumed firings scripted for one op class."""
+        return sum(
+            r
+            for entry, r in zip(self._entries, self._remaining)
+            if entry.op == op
+        )
 
     def take(
         self,

@@ -35,6 +35,12 @@ class FdpEventType(enum.Enum):
     # Media failure surfaced by the fault-injection subsystem: a UECC
     # read, a failed program, or a failed erase (block retirement).
     MEDIA_ERROR = "media_error"
+    # Crash-consistency lifecycle: the controller lost power (volatile
+    # state gone, in-flight host writes torn) and later completed its
+    # power-on L2P rebuild.  ``pages`` on RECOVERY_COMPLETE carries the
+    # number of recovered mappings.
+    POWER_LOSS = "power_loss"
+    RECOVERY_COMPLETE = "recovery_complete"
 
 
 @dataclasses.dataclass(frozen=True)

@@ -14,11 +14,13 @@ from .wear import WearStats, collect_wear_stats, select_wear_victim
 from .zns import Zone, ZonedSSD, ZoneError, ZoneState, ZnsHostLog
 from .errors import (
     DeviceFullError,
+    DeviceOfflineError,
     EraseFailError,
     InvalidPlacementError,
     MediaError,
     NamespaceError,
     OutOfRangeError,
+    PowerLossError,
     ProgramFailError,
     SsdError,
     UncorrectableReadError,
@@ -26,6 +28,13 @@ from .errors import (
 from .ftl import Ftl
 from .geometry import GIB, KIB, MIB, Geometry
 from .latency import LatencyModel, NandTimings
+from .recovery import (
+    MappingJournal,
+    OobRecord,
+    PowerCutReport,
+    RecoveryReport,
+    TornWrite,
+)
 from .stats import DeviceStats, StatsSnapshot
 from .superblock import Superblock, SuperblockState
 
@@ -63,4 +72,11 @@ __all__ = [
     "UncorrectableReadError",
     "ProgramFailError",
     "EraseFailError",
+    "PowerLossError",
+    "DeviceOfflineError",
+    "OobRecord",
+    "MappingJournal",
+    "TornWrite",
+    "PowerCutReport",
+    "RecoveryReport",
 ]

@@ -73,6 +73,9 @@ class SimulatedSSD:
         gc_victim_sample: Optional[int] = None,
         wear_level_threshold: Optional[int] = None,
         faults: "FaultConfig | FaultModel | None" = None,
+        checkpoint_interval_pages: Optional[int] = None,
+        journal_flush_interval: Optional[int] = None,
+        power_seed: Optional[int] = None,
     ) -> None:
         self.geometry = geometry
         if fdp is True:
@@ -90,6 +93,9 @@ class SimulatedSSD:
         self._gc_victim_sample = gc_victim_sample
         self._wear_level_threshold = wear_level_threshold
         self._fault_spec = faults
+        self._checkpoint_interval = checkpoint_interval_pages
+        self._journal_flush_interval = journal_flush_interval
+        self._power_seed = power_seed
         self.ftl = self._new_ftl()
 
     def _new_fault_model(self) -> Optional[FaultModel]:
@@ -100,6 +106,13 @@ class SimulatedSSD:
         return FaultModel(self._fault_spec)
 
     def _new_ftl(self) -> Ftl:
+        extra = {}
+        if self._checkpoint_interval is not None:
+            extra["checkpoint_interval_pages"] = self._checkpoint_interval
+        if self._journal_flush_interval is not None:
+            extra["journal_flush_interval"] = self._journal_flush_interval
+        if self._power_seed is not None:
+            extra["power_seed"] = self._power_seed
         return Ftl(
             self.geometry,
             self.fdp_config,
@@ -111,6 +124,7 @@ class SimulatedSSD:
             gc_victim_sample=self._gc_victim_sample,
             wear_level_threshold=self._wear_level_threshold,
             faults=self._new_fault_model(),
+            **extra,
         )
 
     # ------------------------------------------------------------------
@@ -146,17 +160,25 @@ class SimulatedSSD:
         npages: int = 1,
         pid: Optional[PlacementIdentifier] = None,
         now_ns: int = 0,
+        payload: object = None,
     ) -> int:
         """Write ``npages`` from ``lba`` with an optional placement id.
 
         Returns the simulated completion time in nanoseconds.  With
         fault injection enabled, may raise
         :class:`~repro.faults.errors.ProgramFailError` when a run of
-        consecutive page programs fails.
+        consecutive page programs fails, or
+        :class:`~repro.ssd.errors.PowerLossError` when a scripted
+        power cut tears the command mid-write.
+
+        ``payload`` is an opaque per-command object stored in the
+        pages' out-of-band metadata and surfaced again by
+        :meth:`read_payload`; callers use it to verify what content
+        actually survived a power cut.
         """
         if npages <= 0:
             raise ValueError("npages must be positive")
-        return self.ftl.write_range(lba, npages, pid, now_ns)
+        return self.ftl.write_range(lba, npages, pid, now_ns, payload)
 
     def read(self, lba: int, npages: int = 1, now_ns: int = 0) -> Tuple[bool, int]:
         """Read ``npages`` from ``lba``.
@@ -179,6 +201,53 @@ class SimulatedSSD:
         """Return the device to a clean state (whole-device TRIM +
         counter reset), as the paper does before every experiment."""
         self.ftl = self._new_ftl()
+
+    # ------------------------------------------------------------------
+    # power loss and recovery
+    # ------------------------------------------------------------------
+
+    @property
+    def powered_off(self) -> bool:
+        """Whether the device is dark after a :meth:`power_cut`."""
+        return self.ftl.powered_off
+
+    def power_cut(self, now_ns: Optional[int] = None):
+        """Cut power at ``now_ns`` (default: once the device is idle).
+
+        Volatile FTL state (L2P map, write points, unflushed journal
+        entries) is dropped; in-flight writes not yet acknowledged by
+        ``now_ns`` are torn at a seed-driven point.  The device then
+        rejects I/O with
+        :class:`~repro.ssd.errors.DeviceOfflineError` until
+        :meth:`recover` runs.  Returns a
+        :class:`~repro.ssd.recovery.PowerCutReport`.
+        """
+        return self.ftl.power_cut(now_ns)
+
+    def recover(self, now_ns: Optional[int] = None):
+        """Power-on recovery: rebuild the L2P map and resume service.
+
+        Replays the newest durable checkpoint plus the flushed mapping
+        journal, then scans out-of-band metadata for writes sequenced
+        after the journal horizon, discarding torn pages.  Returns a
+        :class:`~repro.ssd.recovery.RecoveryReport`.
+        """
+        return self.ftl.recover(now_ns)
+
+    def is_mapped(self, lba: int) -> bool:
+        """Whether ``lba`` currently has a valid mapping (no I/O cost)."""
+        return self.ftl.is_mapped(lba)
+
+    def read_payload(self, lba: int, npages: int = 1):
+        """Per-page payload objects for a logical range (no I/O cost).
+
+        Returns a list of ``npages`` entries; unmapped or torn pages
+        yield ``None``.  Works while powered off — it is the test/
+        verification window into what the media actually holds.
+        """
+        if npages <= 0:
+            raise ValueError("npages must be positive")
+        return self.ftl.read_payload(lba, npages)
 
     # ------------------------------------------------------------------
     # logs and telemetry (the nvme get-log surface)
@@ -216,14 +285,24 @@ class SimulatedSSD:
         """The live fault injector, or ``None`` on a reliable device."""
         return self.ftl.faults
 
-    def get_health_log(self, rated_pe_cycles: int = 3000) -> HealthLogPage:
+    def get_health_log(
+        self, rated_pe_cycles: Optional[int] = None
+    ) -> HealthLogPage:
         """SMART-like health log page (``nvme smart-log`` shape).
 
         Reports cumulative media errors by class, permanently retired
         superblocks, the spare (overprovisioning) capacity those
-        retirements have consumed, and endurance percent-used against
-        ``rated_pe_cycles`` — all zeros/fresh on a fault-free device.
+        retirements have consumed, crash-consistency counters (power
+        cuts, recoveries, torn pages), and endurance percent-used
+        against ``rated_pe_cycles`` — which defaults to the geometry's
+        :attr:`~repro.ssd.geometry.Geometry.rated_pe_cycles` endurance
+        rating rather than a hard-coded constant.  All zeros/fresh on a
+        fault-free device.
         """
+        if rated_pe_cycles is None:
+            rated_pe_cycles = self.geometry.rated_pe_cycles
+        if rated_pe_cycles <= 0:
+            raise ValueError("rated_pe_cycles must be positive")
         s = self.ftl.stats
         wear = self.ftl.wear_stats()
         geometry = self.geometry
@@ -243,6 +322,10 @@ class SimulatedSSD:
             latency_spikes=s.latency_spikes,
             available_spare_pct=spare,
             percent_used=100.0 * wear.max_erases / rated_pe_cycles,
+            rated_pe_cycles=rated_pe_cycles,
+            power_cuts=s.power_cuts,
+            recoveries=s.recoveries,
+            torn_pages_discarded=s.torn_pages_discarded,
         )
 
     def energy_kwh(self, elapsed_ns: Optional[int] = None) -> float:

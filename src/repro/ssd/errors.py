@@ -24,6 +24,8 @@ __all__ = [
     "UncorrectableReadError",
     "ProgramFailError",
     "EraseFailError",
+    "PowerLossError",
+    "DeviceOfflineError",
 ]
 
 
@@ -102,3 +104,42 @@ class EraseFailError(MediaError):
     def __init__(self, message: str, *, superblock: int = -1) -> None:
         super().__init__(message)
         self.superblock = superblock
+
+
+class PowerLossError(SsdError):
+    """Power failed while a host write command was in flight.
+
+    Deliberately *not* a :class:`MediaError`: the graceful-degradation
+    handlers in the cache engines and the device layer's retry loop
+    catch ``MediaError`` and keep serving, which is exactly wrong for a
+    power cut — there is no device left to retry against.  This class
+    propagates to whoever orchestrates recovery.
+
+    ``pages_durable`` leading pages of the command reached the media
+    before the cut; the rest (including the page that was mid-program)
+    are gone.  The command was never acknowledged.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        lba: int = -1,
+        npages: int = 0,
+        pages_durable: int = 0,
+        now_ns: int = 0,
+    ) -> None:
+        super().__init__(message)
+        self.lba = lba
+        self.npages = npages
+        self.pages_durable = pages_durable
+        self.now_ns = now_ns
+
+
+class DeviceOfflineError(SsdError):
+    """I/O was submitted to a device that lost power.
+
+    Raised by every host-facing operation between
+    :meth:`~repro.ssd.device.SimulatedSSD.power_cut` and
+    :meth:`~repro.ssd.device.SimulatedSSD.recover`.
+    """

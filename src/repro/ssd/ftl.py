@@ -24,9 +24,10 @@ valid-page count so greedy victim selection never touches page state.
 
 from __future__ import annotations
 
+import collections
 import random
 from array import array
-from typing import Dict, List, Optional, Tuple
+from typing import Deque, Dict, List, Optional, Tuple
 
 from typing import TYPE_CHECKING
 
@@ -36,13 +37,27 @@ from ..fdp.ruh import PlacementIdentifier, RuhType
 from .energy import EnergyModel
 from .errors import (
     DeviceFullError,
+    DeviceOfflineError,
     InvalidPlacementError,
     OutOfRangeError,
+    PowerLossError,
     ProgramFailError,
     UncorrectableReadError,
 )
 from .geometry import Geometry
 from .latency import LatencyModel
+from .recovery import (
+    CHECKPOINT_INTERVAL_PAGES,
+    CHECKPOINTS_KEPT,
+    JOURNAL_FLUSH_INTERVAL,
+    L2pCheckpoint,
+    MappingJournal,
+    OobRecord,
+    PowerCutReport,
+    RecoveryReport,
+    TornWrite,
+    rebuild_ftl_state,
+)
 from .stats import DeviceStats
 from .superblock import Superblock, SuperblockState
 from .wear import WearStats, collect_wear_stats, select_wear_victim
@@ -69,6 +84,32 @@ WEAR_LEVEL_PERIOD = 16
 # run of this many consecutive failures means the die is dying and the
 # write completes with Write Fault (ProgramFailError) instead.
 MAX_PROGRAM_ATTEMPTS = 8
+
+# Recently completed host write commands tracked for power_cut(): a cut
+# at time T tears every command whose completion lies beyond T.  The
+# simulator is closed-loop (one command in flight per caller), so a
+# small window bounds the candidates.
+INFLIGHT_WINDOW = 8
+
+
+class _InflightWrite:
+    """One recent host write command, for power-cut tearing."""
+
+    __slots__ = ("lba", "npages", "ppns", "ack_ns")
+
+    def __init__(
+        self, lba: int, npages: int, ppns: List[int], ack_ns: int
+    ) -> None:
+        self.lba = lba
+        self.npages = npages
+        self.ppns = ppns  # mapped ppn per page, in program order
+        self.ack_ns = ack_ns
+
+    def __getstate__(self):
+        return (self.lba, self.npages, self.ppns, self.ack_ns)
+
+    def __setstate__(self, state) -> None:
+        self.lba, self.npages, self.ppns, self.ack_ns = state
 
 
 class Ftl:
@@ -107,6 +148,9 @@ class Ftl:
         wear_level_threshold: Optional[int] = None,
         victim_seed: int = 0x55D,
         faults: "Optional[FaultModel]" = None,
+        checkpoint_interval_pages: int = CHECKPOINT_INTERVAL_PAGES,
+        journal_flush_interval: int = JOURNAL_FLUSH_INTERVAL,
+        power_seed: int = 0x9C7A,
     ) -> None:
         self.geometry = geometry
         self.fdp_config = fdp_config
@@ -144,6 +188,24 @@ class Ftl:
         self._write_points: Dict[StreamKey, Superblock] = {}
         # Host pages written per stream key, for per-handle accounting.
         self.stream_host_pages: Dict[StreamKey, int] = {}
+
+        # --- crash-consistency state (see repro.ssd.recovery) --------
+        if checkpoint_interval_pages < 1:
+            raise ValueError("checkpoint_interval_pages must be >= 1")
+        self.checkpoint_interval_pages = checkpoint_interval_pages
+        self.power_seed = power_seed
+        # Per-physical-page OOB records: the persistent ground truth
+        # recovery scans.  None = unprogrammed (erased) page.
+        self._oob: List[Optional[OobRecord]] = [None] * geometry.total_pages
+        # Global program sequence number (monotonic over device life).
+        self._seq = 0
+        self._journal = MappingJournal(journal_flush_interval)
+        self._checkpoints: List[L2pCheckpoint] = []
+        self._pages_since_checkpoint = 0
+        self._inflight: Deque[_InflightWrite] = collections.deque(
+            maxlen=INFLIGHT_WINDOW
+        )
+        self._offline = False
 
     # ------------------------------------------------------------------
     # configuration helpers
@@ -267,11 +329,22 @@ class Ftl:
             )
         )
 
-    def _program_into(self, stream: StreamKey, lba: int, now_ns: int) -> int:
+    def _program_into(
+        self,
+        stream: StreamKey,
+        lba: int,
+        now_ns: int,
+        payload: object = None,
+    ) -> int:
         """Program one page for ``lba`` through ``stream``'s write point.
 
         Returns the physical page number.  Allocates (and garbage
         collects for) a fresh superblock when the current one fills.
+
+        Every program — host or GC — deposits an OOB record (LBA,
+        global sequence number, stream, payload) in the page's spare
+        area and appends a journal entry; this is the persistent trail
+        power-on recovery rebuilds the mapping from.
 
         With fault injection enabled, a failed program consumes its
         page — real controllers mark it bad and move on — and retries
@@ -290,6 +363,8 @@ class Ftl:
             ppn = sb.index * self._pps + sb.write_ptr
             if self.faults is not None and self.faults.fail_program(ppn):
                 sb.write_ptr += 1  # the bad page is consumed, not mapped
+                self._seq += 1
+                self._oob[ppn] = OobRecord(-1, self._seq, stream, None, False)
                 self.stats.program_failures += 1
                 self.events.record(
                     FdpEvent(
@@ -306,6 +381,9 @@ class Ftl:
             sb.valid_pages += 1
             self._p2l[ppn] = lba
             self._l2p[lba] = ppn
+            self._seq += 1
+            self._oob[ppn] = OobRecord(lba, self._seq, stream, payload)
+            self._journal.append(self._seq, lba, ppn)
             if sb.write_ptr == self._pps:
                 self._close_write_point(stream, now_ns)
             return ppn
@@ -394,8 +472,17 @@ class Ftl:
                 # Move the live page: this is the DLWA the paper fights.
                 # Program first — if the free pool is exhausted mid-GC
                 # the exception must leave the victim's bookkeeping
-                # intact for a later retry.
-                self._program_into(dest_stream, lba, now_ns)
+                # intact for a later retry.  The OOB payload travels
+                # with the data; the copy gets a fresh (higher)
+                # sequence number, so recovery orders it after the
+                # original.
+                old_rec = self._oob[ppn]
+                self._program_into(
+                    dest_stream,
+                    lba,
+                    now_ns,
+                    old_rec.payload if old_rec is not None else None,
+                )
                 victim.valid_pages -= 1
                 migrated += 1
             self.latency.gc_migrate(now_ns, migrated)
@@ -418,9 +505,20 @@ class Ftl:
                 f"GC left {victim.valid_pages} valid pages in superblock "
                 f"{victim.index}"
             )
+        # Erase fence: a pending host program may have invalidated one
+        # of the victim's pages, and once the erase destroys that page
+        # the tear-time rollback of the newer copy can no longer fall
+        # back to it.  The controller therefore completes outstanding
+        # programs before erasing (erase latency dwarfs the in-flight
+        # window), making everything issued so far durable.
+        self._inflight.clear()
         base = victim.index * self._pps
         for off in range(self._pps):
             self._p2l[base + off] = -1
+            # The erase (or retirement) destroys the pages' OOB trail;
+            # clearing it here keeps recovery from resurrecting stale
+            # mappings out of recycled blocks.
+            self._oob[base + off] = None
         if self.faults is not None and self.faults.fail_erase(
             victim.index, victim.erase_count + 1
         ):
@@ -518,31 +616,69 @@ class Ftl:
                 ppn=ppn,
             )
 
-    def _host_write_page(self, lba: int, stream: StreamKey, now_ns: int) -> None:
+    def _check_online(self) -> None:
+        if self._offline:
+            raise DeviceOfflineError(
+                "device lost power; call recover() before issuing I/O"
+            )
+
+    def _tear_current_page(self, stream: StreamKey) -> None:
+        """Consume the page that was mid-program when power died.
+
+        The NAND cell array saw a partial program pulse: the page is
+        spent (it cannot be programmed again without an erase) and its
+        OOB integrity check will fail at recovery.
+        """
+        sb = self._write_points.get(stream)
+        if sb is None or sb.write_ptr >= self._pps:
+            return
+        ppn = sb.index * self._pps + sb.write_ptr
+        sb.write_ptr += 1
+        self._seq += 1
+        self._oob[ppn] = OobRecord(-1, self._seq, stream, None, False)
+        self.stats.torn_pages_discarded += 1
+
+    def _host_write_page(
+        self,
+        lba: int,
+        stream: StreamKey,
+        now_ns: int,
+        payload: object = None,
+        ppns: Optional[List[int]] = None,
+    ) -> None:
         """Mapping + accounting for one host page (no latency charge)."""
+        if self.faults is not None and self.faults.power_loss_on_program():
+            self._tear_current_page(stream)
+            raise PowerLossError(
+                f"power lost during host page program (LBA {lba}, "
+                f"stream {stream})",
+                lba=lba,
+                now_ns=now_ns,
+            )
         old = self._l2p[lba]
         if old >= 0:
             self.superblocks[old // self._pps].valid_pages -= 1
             self._l2p[lba] = -1
-        self._program_into(stream, lba, now_ns)
+        ppn = self._program_into(stream, lba, now_ns, payload)
+        if ppns is not None:
+            ppns.append(ppn)
         self.stats.host_pages_written += 1
         self.stats.nand_pages_written += 1
         self.energy.add_programs(1)
         self.stream_host_pages[stream] = (
             self.stream_host_pages.get(stream, 0) + 1
         )
+        self._pages_since_checkpoint += 1
 
     def write(
         self,
         lba: int,
         pid: Optional[PlacementIdentifier] = None,
         now_ns: int = 0,
+        payload: object = None,
     ) -> int:
         """Write one page at ``lba``; returns completion time (ns)."""
-        self._check_lba(lba)
-        stream = self._host_stream(pid)
-        self._host_write_page(lba, stream, now_ns)
-        return self._inject_host_spike(self.latency.host_write(now_ns, 1))
+        return self.write_range(lba, 1, pid, now_ns, payload)
 
     def write_range(
         self,
@@ -550,21 +686,46 @@ class Ftl:
         npages: int,
         pid: Optional[PlacementIdentifier] = None,
         now_ns: int = 0,
+        payload: object = None,
     ) -> int:
         """Write ``npages`` consecutive pages as one striped command.
 
         The whole range is charged as a single multi-page operation, so
         sequential region flushes benefit from die/plane parallelism
         instead of serializing page by page.
+
+        ``payload`` is an opaque object stored in each page's OOB area,
+        modelling the command's content; :meth:`read_payload` returns
+        it, including after a power cut + recovery — which is how the
+        cache layer verifies seal markers and bucket checksums
+        honestly.
+
+        A scripted power cut mid-command raises
+        :class:`~repro.ssd.errors.PowerLossError` whose
+        ``pages_durable`` says how many leading pages survived; the
+        command is *not* acknowledged and the device is offline until
+        :meth:`recover`.
         """
         if npages <= 0:
             raise ValueError("npages must be positive")
+        self._check_online()
         self._check_lba(lba)
         self._check_lba(lba + npages - 1)
         stream = self._host_stream(pid)
-        for i in range(npages):
-            self._host_write_page(lba + i, stream, now_ns)
-        return self._inject_host_spike(self.latency.host_write(now_ns, npages))
+        ppns: List[int] = []
+        try:
+            for i in range(npages):
+                self._host_write_page(lba + i, stream, now_ns, payload, ppns)
+        except PowerLossError as exc:
+            exc.lba = lba
+            exc.npages = npages
+            exc.pages_durable = len(ppns)
+            self.power_cut(now_ns, _torn_mid_command=True)
+            raise
+        done = self._inject_host_spike(self.latency.host_write(now_ns, npages))
+        self._inflight.append(_InflightWrite(lba, npages, ppns, done))
+        self._maybe_checkpoint()
+        return done
 
     def read(self, lba: int, now_ns: int = 0) -> Tuple[bool, int]:
         """Read one page.
@@ -573,6 +734,7 @@ class Ftl:
         whether the LBA currently holds data (reading a deallocated LBA
         returns zeroes on a real device).
         """
+        self._check_online()
         self._check_lba(lba)
         self.stats.host_pages_read += 1
         self.energy.add_reads(1)
@@ -589,6 +751,7 @@ class Ftl:
         """
         if npages <= 0:
             raise ValueError("npages must be positive")
+        self._check_online()
         self._check_lba(lba)
         self._check_lba(lba + npages - 1)
         self.stats.host_pages_read += npages
@@ -601,9 +764,16 @@ class Ftl:
         return all_mapped, done
 
     def deallocate(self, lba: int, npages: int = 1) -> int:
-        """TRIM ``npages`` starting at ``lba``; returns pages invalidated."""
+        """TRIM ``npages`` starting at ``lba``; returns pages invalidated.
+
+        Deallocations are journaled and the journal is flushed
+        synchronously: a TRIM the host observed as complete must never
+        be forgotten by recovery, or the stale mapping would resurrect
+        as a phantom.
+        """
         if npages <= 0:
             raise ValueError("npages must be positive")
+        self._check_online()
         self._check_lba(lba)
         self._check_lba(lba + npages - 1)
         invalidated = 0
@@ -614,8 +784,200 @@ class Ftl:
             self.superblocks[ppn // self._pps].valid_pages -= 1
             self._l2p[cur] = -1
             invalidated += 1
+            self._seq += 1
+            self._journal.append(self._seq, cur, -1)
+        if invalidated:
+            self._journal.force_flush()
+            # The synchronous flush is a write barrier: once it lands
+            # on media, every page program sequenced before it landed
+            # too, so commands issued earlier can no longer tear in a
+            # later power cut.
+            self._inflight.clear()
         self.stats.pages_deallocated += invalidated
         return invalidated
+
+    # ------------------------------------------------------------------
+    # crash consistency: checkpoint, power cut, recovery
+    # ------------------------------------------------------------------
+
+    def _take_checkpoint(self) -> None:
+        """Persist a full L2P copy and compact the journal behind it."""
+        self._journal.force_flush()
+        self._checkpoints.append(L2pCheckpoint(self._seq, self._l2p))
+        if len(self._checkpoints) > CHECKPOINTS_KEPT:
+            del self._checkpoints[: -CHECKPOINTS_KEPT]
+        # Journal entries at or before the *oldest retained* checkpoint
+        # can never be needed again (a retroactive tear falls back at
+        # most one checkpoint).
+        self._journal.compact_upto(self._checkpoints[0].seq)
+
+    def _maybe_checkpoint(self) -> None:
+        if self._pages_since_checkpoint >= self.checkpoint_interval_pages:
+            self._pages_since_checkpoint = 0
+            self._take_checkpoint()
+
+    @property
+    def powered_off(self) -> bool:
+        """Whether the device is between power_cut() and recover()."""
+        return self._offline
+
+    def power_cut(
+        self, now_ns: Optional[int] = None, *, _torn_mid_command: bool = False
+    ) -> PowerCutReport:
+        """Lose power at ``now_ns``: drop volatile state, tear in-flight
+        writes, and take the device offline.
+
+        ``now_ns`` defaults to the device's busy horizon — a quiescent
+        cut with nothing in flight.  An earlier ``now_ns`` tears every
+        recently issued command whose completion lies beyond it, at a
+        single deterministic, seed-driven point in program order
+        (power dies at one instant; everything sequenced after it is
+        gone).  The report lists each torn command's durable prefix so
+        a shadow reference can reconcile exactly.
+
+        Volatile state (L2P, write points, free list, journal buffer)
+        is *not* cleared here — recovery rebuilds it from media and the
+        tests compare against the pre-cut mapping — but the device
+        rejects all I/O until :meth:`recover` runs.
+        """
+        if self._offline:
+            return PowerCutReport(now_ns=now_ns or 0, tear_seq=self._seq)
+        if now_ns is None:
+            now_ns = self.latency.busy_until
+        torn_writes: List[TornWrite] = []
+        discarded = 0
+        tear_seq = self._seq
+        if not _torn_mid_command:
+            pending = [w for w in self._inflight if w.ack_ns > now_ns]
+            if pending:
+                # Flatten to (seq-ordered) pages and pick the one tear
+                # point every in-flight command shares.
+                flat: List[Tuple[int, int]] = []  # (ppn, command idx)
+                for ci, w in enumerate(pending):
+                    for ppn in w.ppns:
+                        flat.append((ppn, ci))
+                rng = random.Random(
+                    (self.power_seed << 8) ^ (self.stats.power_cuts + 1)
+                )
+                keep = rng.randrange(len(flat) + 1)
+                durable_per_cmd = [0] * len(pending)
+                # Resolve tear_seq from the original OOB records before
+                # any of them are overwritten below.
+                if keep:
+                    last_rec = self._oob[flat[keep - 1][0]]
+                    tear_seq = last_rec.seq if last_rec else self._seq
+                else:
+                    first_rec = self._oob[flat[0][0]]
+                    tear_seq = (
+                        first_rec.seq - 1 if first_rec else self._seq
+                    )
+                for pi, (ppn, ci) in enumerate(flat):
+                    if pi < keep:
+                        durable_per_cmd[ci] += 1
+                        continue
+                    rec = self._oob[ppn]
+                    lba = rec.lba if rec is not None else -1
+                    if pi == keep:
+                        # The page mid-program at the instant of the
+                        # cut: consumed, fails its OOB check.
+                        self._oob[ppn] = OobRecord(
+                            -1,
+                            rec.seq if rec is not None else self._seq,
+                            rec.stream if rec is not None else None,
+                            None,
+                            False,
+                        )
+                        self.stats.torn_pages_discarded += 1
+                    else:
+                        # Sequenced after the cut: never programmed.
+                        self._oob[ppn] = None
+                        sb = self.superblocks[ppn // self._pps]
+                        if sb.write_ptr > ppn % self._pps:
+                            sb.write_ptr = ppn % self._pps
+                    if lba >= 0 and self._l2p[lba] == ppn:
+                        self._l2p[lba] = -1
+                        self._p2l[ppn] = -1
+                        self.superblocks[ppn // self._pps].valid_pages -= 1
+                    discarded += 1
+                for ci, w in enumerate(pending):
+                    torn_writes.append(
+                        TornWrite(w.lba, w.npages, durable_per_cmd[ci])
+                    )
+        # The journal write describing anything past the tear cannot
+        # have completed either; neither can a newer checkpoint.
+        lost = self._journal.drop_volatile()
+        lost += self._journal.truncate_after(tear_seq)
+        cps_before = len(self._checkpoints)
+        self._checkpoints = [
+            cp for cp in self._checkpoints if cp.seq <= tear_seq
+        ]
+        self._inflight.clear()
+        self._offline = True
+        self.stats.power_cuts += 1
+        self.events.record(
+            FdpEvent(FdpEventType.POWER_LOSS, timestamp_ns=now_ns)
+        )
+        return PowerCutReport(
+            now_ns=now_ns,
+            tear_seq=tear_seq,
+            torn_writes=tuple(torn_writes),
+            pages_discarded=discarded,
+            journal_entries_lost=lost,
+            checkpoints_dropped=cps_before - len(self._checkpoints),
+        )
+
+    def recover(self, now_ns: Optional[int] = None) -> RecoveryReport:
+        """Power-on recovery: rebuild all volatile state from media.
+
+        Safe to call on a live (never-cut) device — the rebuild is then
+        a consistency no-op that reproduces the current mapping.  Emits
+        ``RECOVERY_COMPLETE`` and takes a fresh checkpoint so a
+        follow-up cut recovers from a compact base.
+        """
+        if now_ns is None:
+            now_ns = self.latency.busy_until
+        report = rebuild_ftl_state(self)
+        self._offline = False
+        self._inflight.clear()
+        self._pages_since_checkpoint = 0
+        self.stats.recoveries += 1
+        self.events.record(
+            FdpEvent(
+                FdpEventType.RECOVERY_COMPLETE,
+                timestamp_ns=now_ns,
+                pages=report.mappings_recovered,
+            )
+        )
+        self._take_checkpoint()
+        return report
+
+    def is_mapped(self, lba: int) -> bool:
+        """Whether an LBA currently holds data (no I/O charged)."""
+        self._check_lba(lba)
+        return self._l2p[lba] >= 0
+
+    def read_payload(self, lba: int, npages: int = 1) -> List[object]:
+        """Media-truth page payloads for ``npages`` starting at ``lba``.
+
+        Returns one entry per page: the payload stored by the write
+        that produced the page's current data, or ``None`` for
+        unmapped LBAs.  A verification hook — no latency or counters
+        are charged, and it works on an offline device (it models the
+        recovery tooling reading raw NAND).
+        """
+        if npages <= 0:
+            raise ValueError("npages must be positive")
+        self._check_lba(lba)
+        self._check_lba(lba + npages - 1)
+        out: List[object] = []
+        for cur in range(lba, lba + npages):
+            ppn = self._l2p[cur]
+            if ppn < 0:
+                out.append(None)
+                continue
+            rec = self._oob[ppn]
+            out.append(rec.payload if rec is not None and rec.ok else None)
+        return out
 
     # ------------------------------------------------------------------
     # introspection

@@ -54,6 +54,11 @@ class Geometry:
     op_fraction:
         Device overprovisioning as a fraction of *physical* capacity.
         The logical (advertised) capacity is ``physical * (1 - op)``.
+    rated_pe_cycles:
+        Endurance rating of the NAND: program/erase cycles per block
+        the vendor warrants.  3000 is typical for the TLC NAND in the
+        paper's device class; the health log's *percent used* gauge is
+        max observed erases over this rating.
     """
 
     page_size: int = 4 * KIB
@@ -62,6 +67,7 @@ class Geometry:
     dies: int = 2
     num_superblocks: int = 256
     op_fraction: float = 0.07
+    rated_pe_cycles: int = 3000
 
     def __post_init__(self) -> None:
         if self.page_size <= 0:
@@ -76,6 +82,8 @@ class Geometry:
             )
         if not 0.0 <= self.op_fraction < 1.0:
             raise ValueError("op_fraction must be in [0, 1)")
+        if self.rated_pe_cycles <= 0:
+            raise ValueError("rated_pe_cycles must be positive")
         if self.logical_pages <= 0:
             raise ValueError("overprovisioning leaves no logical capacity")
 

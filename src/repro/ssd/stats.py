@@ -36,6 +36,10 @@ class StatsSnapshot:
     erase_failures: int = 0
     superblocks_retired: int = 0
     latency_spikes: int = 0
+    # Crash-consistency counters (zero unless power loss is exercised).
+    power_cuts: int = 0
+    recoveries: int = 0
+    torn_pages_discarded: int = 0
 
     @property
     def media_errors(self) -> int:
@@ -75,6 +79,9 @@ class DeviceStats:
         "erase_failures",
         "superblocks_retired",
         "latency_spikes",
+        "power_cuts",
+        "recoveries",
+        "torn_pages_discarded",
     )
 
     def __init__(self) -> None:
@@ -95,6 +102,9 @@ class DeviceStats:
         self.erase_failures = 0
         self.superblocks_retired = 0
         self.latency_spikes = 0
+        self.power_cuts = 0
+        self.recoveries = 0
+        self.torn_pages_discarded = 0
 
     @property
     def media_errors(self) -> int:
@@ -124,4 +134,7 @@ class DeviceStats:
             erase_failures=self.erase_failures,
             superblocks_retired=self.superblocks_retired,
             latency_spikes=self.latency_spikes,
+            power_cuts=self.power_cuts,
+            recoveries=self.recoveries,
+            torn_pages_discarded=self.torn_pages_discarded,
         )

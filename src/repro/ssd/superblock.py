@@ -129,6 +129,22 @@ class Superblock:
         self.stream = None
         self.write_ptr = 0
 
+    def restore(
+        self, state: SuperblockState, *, write_ptr: int, stream: object
+    ) -> None:
+        """Set state directly, bypassing the lifecycle guards.
+
+        Recovery-only: power-on rebuild reconstructs each superblock's
+        state from OOB metadata, which does not follow the live
+        FREE→OPEN→CLOSED transitions (e.g. an OPEN block across a cut
+        whose close never landed is restored straight to CLOSED).
+        ``valid_pages`` is set separately by the rebuild, which derives
+        it from the recovered mapping.
+        """
+        self.state = state
+        self.write_ptr = write_ptr
+        self.stream = stream
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"Superblock(index={self.index}, state={self.state.value}, "

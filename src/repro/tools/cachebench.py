@@ -86,7 +86,7 @@ def run_from_config(config: Optional[Dict[str, Any]] = None) -> RunResult:
     engine = str(cfg["cache"]["soc_engine"])
     if engine != "set-associative":
         # Engine selection needs the full builder path.
-        from ..bench.runner import build_experiment, make_trace
+        from ..bench.runner import make_trace
         from ..bench.driver import CacheBench
         from ..cache.config import CacheConfig
         from ..ssd.device import SimulatedSSD

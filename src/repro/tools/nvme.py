@@ -54,6 +54,7 @@ def _cmd_create(args: argparse.Namespace) -> int:
         pages_per_block=args.pages_per_block,
         num_superblocks=args.superblocks,
         op_fraction=args.op,
+        rated_pe_cycles=args.rated_pe_cycles,
     )
     device = SimulatedSSD(geometry, fdp=args.fdp)
     save_device(device, args.device)
@@ -128,6 +129,11 @@ def _cmd_smart(args: argparse.Namespace) -> int:
     print(f"retired superblocks : {health.retired_superblocks}")
     print(f"available spare     : {health.available_spare_pct:.1f}%")
     print(f"percent used        : {health.percent_used:.1f}%")
+    print(f"rated P/E cycles    : {health.rated_pe_cycles}")
+    print(f"power cuts          : {health.power_cuts}")
+    print(f"recoveries          : {health.recoveries}")
+    print(f"torn pages discarded: {health.torn_pages_discarded}")
+    print(f"powered off         : {device.powered_off}")
     return 0
 
 
@@ -136,6 +142,36 @@ def _cmd_format(args: argparse.Namespace) -> int:
     device.format()
     save_device(device, args.device)
     print("device formatted (full TRIM + counter reset)")
+    return 0
+
+
+def _cmd_power_cut(args: argparse.Namespace) -> int:
+    device = load_device(args.device)
+    report = device.power_cut()
+    save_device(device, args.device)
+    print(
+        f"power cut at {report.now_ns} ns: "
+        f"{len(report.torn_writes)} torn writes, "
+        f"{report.pages_discarded} pages discarded, "
+        f"{report.journal_entries_lost} journal entries lost, "
+        f"{report.checkpoints_dropped} checkpoints dropped"
+    )
+    print("device is offline; run `recover` to bring it back")
+    return 0
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    device = load_device(args.device)
+    report = device.recover()
+    save_device(device, args.device)
+    print(f"checkpoint seq          : {report.checkpoint_seq}")
+    print(f"journal entries replayed: {report.journal_entries_replayed}")
+    print(f"superblocks OOB-scanned : {report.superblocks_scanned}")
+    print(f"OOB mappings applied    : {report.oob_mappings_applied}")
+    print(f"stale mappings dropped  : {report.stale_mappings_dropped}")
+    print(f"torn pages discarded    : {report.torn_pages_discarded}")
+    print(f"mappings recovered      : {report.mappings_recovered}")
+    print(f"write points reopened   : {len(report.write_points_reopened)}")
     return 0
 
 
@@ -152,6 +188,7 @@ def build_parser() -> argparse.ArgumentParser:
     create.add_argument("--pages-per-block", type=int, default=32)
     create.add_argument("--page-size", type=int, default=4096)
     create.add_argument("--op", type=float, default=0.07)
+    create.add_argument("--rated-pe-cycles", type=int, default=3000)
     create.add_argument("--fdp", action="store_true")
     create.set_defaults(func=_cmd_create)
 
@@ -160,6 +197,8 @@ def build_parser() -> argparse.ArgumentParser:
         ("fdp-stats", _cmd_fdp_stats, "FDP statistics log page"),
         ("smart", _cmd_smart, "wear and write-amplification counters"),
         ("format", _cmd_format, "reset the device to a clean state"),
+        ("power-cut", _cmd_power_cut, "lose power: tear in-flight writes"),
+        ("recover", _cmd_recover, "power-on recovery: rebuild the L2P map"),
     ):
         p = sub.add_parser(name, help=help_text)
         p.add_argument("device")

@@ -12,7 +12,6 @@ pays off.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict
 
 import numpy as np
 

@@ -12,7 +12,6 @@ from repro.bench import (
     run_experiment,
 )
 from repro.bench.metrics import IntervalPoint, steady_state_dlwa
-from repro.cache import CacheConfig, HybridCache
 from repro.workloads import kv_cache_trace
 
 TINY_SCALE = Scale(num_superblocks=64, num_ops=20_000)

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.fdp import RuhType, default_configuration
-from repro.ssd import Geometry, SimulatedSSD
+from repro.ssd import SimulatedSSD
 
 
 class TestConstruction:

@@ -1,10 +1,7 @@
 """Unit tests for the FDP-aware device layer (handle -> PID -> DSPEC)."""
 
-import pytest
-
 from repro.core import FdpAwareDevice
 from repro.core.device_layer import DTYPE_DATA_PLACEMENT, DTYPE_NONE
-from repro.ssd import SimulatedSSD
 from repro.ssd.superblock import SuperblockState
 
 

@@ -5,7 +5,6 @@ import pytest
 from repro.cache import CacheConfig, HybridCache
 from repro.cache.hybrid import HIT_DRAM, HIT_LOC, HIT_SOC, MISS
 from repro.core import FdpAwareDevice, SingleHandlePolicy
-from repro.ssd import SimulatedSSD
 
 
 def small_config(**overrides):

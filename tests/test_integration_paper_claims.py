@@ -9,7 +9,7 @@ hybrid cache -> placement layer -> simulated SSD — and asserts the
 
 import pytest
 
-from repro.bench import ReplayConfig, Scale, build_experiment, make_trace, run_experiment
+from repro.bench import ReplayConfig, Scale, make_trace, run_experiment
 from repro.bench.driver import CacheBench
 
 # Small enough to run in seconds, big enough to exercise GC.

@@ -8,7 +8,6 @@ from repro.ssd import (
     NamespaceError,
     NamespaceManager,
     OutOfRangeError,
-    SimulatedSSD,
 )
 
 

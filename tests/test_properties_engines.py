@@ -1,6 +1,5 @@
 """Property-based tests for the Kangaroo engine and the ZNS host log."""
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.cache import CacheItem

@@ -12,7 +12,6 @@ from repro.ssd import (
     collect_wear_stats,
     select_wear_victim,
 )
-from repro.ssd.superblock import SuperblockState
 
 
 def worn_blocks(erase_counts, closed_mask=None):

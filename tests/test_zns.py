@@ -5,7 +5,7 @@ import random
 import pytest
 
 from repro.ssd import DeviceFullError, Geometry, OutOfRangeError
-from repro.ssd.zns import Zone, ZonedSSD, ZoneError, ZoneState, ZnsHostLog
+from repro.ssd.zns import ZonedSSD, ZoneError, ZoneState, ZnsHostLog
 
 
 @pytest.fixture
