@@ -21,6 +21,8 @@ from typing import Iterable
 
 import pytest
 
+from repro.bench import point_seed
+
 RESULTS_DIR = Path(__file__).parent / "results"
 
 # Operations per arm: enough wraps of the scaled device for interval
@@ -32,6 +34,26 @@ FULL_UTIL_OPS = 1_400_000
 def ops_for(utilization: float) -> int:
     """Run length needed for steady state at a given utilization."""
     return FULL_UTIL_OPS if utilization >= 0.95 else BASE_OPS
+
+
+def sweep_seed(figure: str, index: int) -> int:
+    """Trace seed for one sweep point of one figure.
+
+    Seeding contract (shared with :mod:`repro.bench.parallel`, which
+    the CI smoke job sweeps these figures through):
+
+    * the seed is a pure function of ``(figure, index)`` — never of a
+      shared RNG, execution order, or worker count — so serial pytest
+      runs, ``run_sweep`` workers, and a single re-run of one point all
+      replay bit-identical traces;
+    * every *arm* within a point (FDP vs Non-FDP, engine variants)
+      passes the same ``index`` and therefore replays the same trace,
+      which is what keeps paired-arm assertions ("hit ratios match",
+      "p99 no worse") comparing like with like;
+    * distinct figures get decorrelated traces instead of all sharing
+      one global default seed.
+    """
+    return point_seed(figure, index)
 
 
 def emit_table(name: str, lines: Iterable[str]) -> None:

@@ -6,9 +6,9 @@ placement handle" — static SOC/LOC segregation wins on simplicity at
 equal (or better) DLWA.
 """
 
-from conftest import emit_table, ops_for
+from conftest import emit_table, ops_for, sweep_seed
 
-from repro.bench import DEFAULT_SCALE, CacheBench, build_experiment, make_trace
+from repro.bench import CacheBench, build_experiment, make_trace
 from repro.cache import HybridCache
 from repro.core import DynamicTemperaturePolicy, StaticSegregationPolicy
 from repro.ssd import SimulatedSSD
@@ -19,7 +19,10 @@ def _run(policy_factory, util=1.0):
     device = SimulatedSSD(template.device.geometry, fdp=True)
     cache = HybridCache(device, template.config, policy=policy_factory())
     trace = make_trace(
-        "kvcache", template.config.nvm_bytes, num_ops=ops_for(util)
+        "kvcache",
+        template.config.nvm_bytes,
+        num_ops=ops_for(util),
+        seed=sweep_seed("ablation_dynamic_placement", 0),
     )
     return CacheBench().run(cache, trace)
 

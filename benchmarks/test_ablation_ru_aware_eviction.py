@@ -6,7 +6,7 @@ overwrite already self-invalidates RUs.  This bench compares the LOC
 with and without the TRIM hint.
 """
 
-from conftest import emit_table, ops_for
+from conftest import emit_table, ops_for, sweep_seed
 
 from repro.bench import DEFAULT_SCALE, CacheBench, make_trace
 from repro.cache import CacheConfig, HybridCache
@@ -26,7 +26,12 @@ def _run(ru_aware_trim, util=1.0):
         ru_aware_trim=ru_aware_trim,
     )
     cache = HybridCache(device, config)
-    trace = make_trace("kvcache", nvm_bytes, num_ops=ops_for(util))
+    trace = make_trace(
+        "kvcache",
+        nvm_bytes,
+        num_ops=ops_for(util),
+        seed=sweep_seed("ablation_ru_aware_eviction", 0),
+    )
     return CacheBench().run(cache, trace)
 
 

@@ -5,7 +5,7 @@ once SOC and LOC live in different RUs, only SOC data reaches GC, so
 the cheaper isolation type gives the same DLWA as persistent isolation.
 """
 
-from conftest import emit_table, ops_for
+from conftest import emit_table, ops_for, sweep_seed
 
 from repro.bench import DEFAULT_SCALE, CacheBench, make_trace
 from repro.cache import CacheConfig, HybridCache
@@ -28,7 +28,12 @@ def _run(ruh_type, util=1.0):
         region_bytes=DEFAULT_SCALE.region_bytes,
     )
     cache = HybridCache(device, cache_config)
-    trace = make_trace("kvcache", nvm_bytes, num_ops=ops_for(util))
+    trace = make_trace(
+        "kvcache",
+        nvm_bytes,
+        num_ops=ops_for(util),
+        seed=sweep_seed("ablation_ruh_types", 0),
+    )
     return CacheBench().run(cache, trace)
 
 

@@ -10,7 +10,7 @@ compose: Kangaroo lowers ALWA, FDP lowers DLWA, and together they
 multiply into total NAND-write reduction.
 """
 
-from conftest import BASE_OPS, emit_table
+from conftest import BASE_OPS, emit_table, sweep_seed
 
 from repro.bench import DEFAULT_SCALE, CacheBench, make_trace
 from repro.cache import CacheConfig, HybridCache
@@ -31,7 +31,12 @@ def _run(engine: str, fdp: bool, util=1.0):
         soc_engine=engine,
     )
     cache = HybridCache(device, config)
-    trace = make_trace("kvcache", nvm_bytes, num_ops=BASE_OPS)
+    trace = make_trace(
+        "kvcache",
+        nvm_bytes,
+        num_ops=BASE_OPS,
+        seed=sweep_seed("ext_kangaroo", 0),
+    )
     return CacheBench().run(cache, trace)
 
 

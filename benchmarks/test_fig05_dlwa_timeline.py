@@ -5,7 +5,7 @@ Paper result: Non-FDP settles at ~1.3; FDP-based segregation at ~1.03
 both arms and emits the interval-DLWA series the figure plots.
 """
 
-from conftest import emit_table, ops_for
+from conftest import emit_table, ops_for, sweep_seed
 
 from repro.bench import dlwa_timeline_chart, run_experiment
 
@@ -20,6 +20,7 @@ def test_fig05_dlwa_timeline(once):
                 fdp=fdp,
                 utilization=util,
                 num_ops=ops_for(util),
+                seed=sweep_seed("fig05_dlwa_timeline", 0),
             )
             for fdp in (False, True)
         }

@@ -6,7 +6,7 @@ hit ratios, and *better* p99 read/write latency at high utilization
 (1.75x read, 10x write at 100%).
 """
 
-from conftest import emit_table, ops_for
+from conftest import emit_table, ops_for, sweep_seed
 
 from repro.bench import run_experiment
 
@@ -21,6 +21,9 @@ def test_fig06_utilization_sweep(once):
                 fdp=fdp,
                 utilization=util,
                 num_ops=ops_for(util),
+                seed=sweep_seed(
+                    "fig06_utilization_sweep", UTILIZATIONS.index(util)
+                ),
             )
             for util in UTILIZATIONS
             for fdp in (False, True)

@@ -4,7 +4,7 @@ Paper result: FDP-based segregation achieves a DLWA of ~1 at both 50%
 and 100% device utilization, while Non-FDP rises well above 1.
 """
 
-from conftest import emit_table, ops_for
+from conftest import emit_table, ops_for, sweep_seed
 
 from repro.bench import dlwa_timeline_chart, run_experiment
 
@@ -17,6 +17,7 @@ def test_fig07_twitter_dlwa(once):
                 fdp=fdp,
                 utilization=util,
                 num_ops=ops_for(util),
+                seed=sweep_seed("fig07_twitter", int(util == 1.0)),
             )
             for util in (0.5, 1.0)
             for fdp in (False, True)

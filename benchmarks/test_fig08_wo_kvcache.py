@@ -5,7 +5,7 @@ from the KV Cache trace), FDP-based segregation holds DLWA at ~1 at
 both 50% and 100% device utilization.
 """
 
-from conftest import emit_table, ops_for
+from conftest import emit_table, ops_for, sweep_seed
 
 from repro.bench import dlwa_timeline_chart, run_experiment
 
@@ -18,6 +18,7 @@ def test_fig08_wo_kvcache_dlwa(once):
                 fdp=fdp,
                 utilization=util,
                 num_ops=ops_for(util),
+                seed=sweep_seed("fig08_wo_kvcache", int(util == 1.0)),
             )
             for util in (0.5, 1.0)
             for fdp in (False, True)

@@ -8,7 +8,7 @@ converges toward the Non-FDP arm (which stays above 3 throughout) at
 
 import dataclasses
 
-from conftest import emit_table
+from conftest import emit_table, sweep_seed
 
 from repro.bench import Scale, run_experiment
 
@@ -37,6 +37,9 @@ def test_fig09_soc_size_sweep(once):
                 soc_fraction=soc,
                 num_ops=_ops(soc),
                 scale=SWEEP_SCALE,
+                seed=sweep_seed(
+                    "fig09_soc_sweep", SOC_FRACTIONS.index(soc)
+                ),
             )
             for soc in SOC_FRACTIONS
             for fdp in (False, True)

@@ -5,7 +5,7 @@ Paper result: at 100% device utilization, FDP-based segregation obtains
 write latency; gains grow with utilization.
 """
 
-from conftest import emit_table, ops_for
+from conftest import emit_table, ops_for, sweep_seed
 
 from repro.bench import run_experiment
 
@@ -20,6 +20,9 @@ def test_fig13_wo_kvcache_util_sweep(once):
                 fdp=fdp,
                 utilization=util,
                 num_ops=ops_for(util),
+                seed=sweep_seed(
+                    "fig13_wo_util_sweep", UTILIZATIONS.index(util)
+                ),
             )
             for util in UTILIZATIONS
             for fdp in (False, True)

@@ -9,7 +9,7 @@ DRAM sizes scale by the same ratios as the paper (42 GB ~ 4.5% of the
 930 GB cache; 20 GB ~ 2.2%; 4 GB ~ 0.43%).
 """
 
-from conftest import emit_table, ops_for
+from conftest import emit_table, ops_for, sweep_seed
 
 from repro.bench import DEFAULT_SCALE, run_experiment
 from repro.model import CarbonParams, embodied_co2e_kg, operational_co2e_kg
@@ -24,7 +24,7 @@ def test_table2_dram_sweep(once):
 
     def run():
         out = {}
-        for label, ratio in DRAM_RATIOS.items():
+        for index, (label, ratio) in enumerate(DRAM_RATIOS.items()):
             dram = max(64 * 1024, int(nvm_bytes * ratio))
             for fdp in (True, False):
                 out[(label, fdp)] = run_experiment(
@@ -33,6 +33,7 @@ def test_table2_dram_sweep(once):
                     utilization=util,
                     dram_bytes=dram,
                     num_ops=ops_for(util),
+                    seed=sweep_seed("table2_dram_sweep", index),
                 )
         return out
 

@@ -3,6 +3,7 @@ the scaled experiment builders every figure/table bench uses."""
 
 from .driver import CacheBench, ReplayConfig
 from .metrics import CrashSoakResult, IntervalPoint, LatencyReservoir, RunResult
+from .parallel import SweepPoint, point_seed, run_sweep, smoke_points
 from .plotting import ascii_chart, dlwa_timeline_chart
 from .runner import (
     CHAOS_SCALE,
@@ -36,4 +37,8 @@ __all__ = [
     "default_chaos_config",
     "run_chaos_soak",
     "run_crash_soak",
+    "SweepPoint",
+    "point_seed",
+    "run_sweep",
+    "smoke_points",
 ]

@@ -1,0 +1,205 @@
+"""Multiprocess benchmark sweep runner.
+
+The figure benches sweep a handful of independent experiment arms
+(utilization points, SOC fractions, DRAM sizes) that each replay a
+million-op trace against its own simulated device — embarrassingly
+parallel work that the serial loops leave on the table.  This module
+fans sweep points out across worker processes and merges the
+:class:`~repro.bench.metrics.RunResult` objects back in point order.
+
+Determinism contract
+--------------------
+Parallel and serial execution of the same sweep must produce
+bit-identical results, which requires every point to carry its *own*
+seed rather than inheriting whatever a shared RNG happened to hold
+when the point started.  :func:`point_seed` derives that seed from the
+figure name and point index alone, so:
+
+* a point's trace does not depend on scheduling order, worker count,
+  or which other points ran before it;
+* every *arm* within a point (e.g. fig06's FDP and Non-FDP runs at one
+  utilization) shares the seed, so paired-arm assertions — "FDP and
+  Non-FDP hit ratios match at each utilization" — keep comparing runs
+  of the same trace;
+* re-running a single point in isolation reproduces the sweep's value
+  for it exactly.
+
+Workers receive :class:`SweepPoint` descriptors (cheap, picklable) and
+build the device/cache/trace locally — RunResults travel back, devices
+never do.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, Iterable, List, Optional
+
+from .metrics import RunResult
+from .runner import Scale, run_experiment
+
+__all__ = ["SweepPoint", "point_seed", "run_sweep", "smoke_points", "main"]
+
+
+def point_seed(figure: str, index: int) -> int:
+    """Deterministic seed for one sweep point of one figure.
+
+    Derived as the first 4 bytes of ``sha256("figure:index")`` so
+    distinct figures (and distinct points within a figure) get
+    decorrelated traces, while the mapping is stable across runs,
+    machines, and worker schedules.  All arms *within* the point share
+    it (see the module docstring's determinism contract).
+    """
+    digest = hashlib.sha256(f"{figure}:{index}".encode("ascii")).digest()
+    return int.from_bytes(digest[:4], "big")
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepPoint:
+    """One experiment arm of a figure sweep, ready to ship to a worker.
+
+    ``kwargs`` is passed through to
+    :func:`~repro.bench.runner.run_experiment`; ``seed`` and ``name``
+    default to :func:`point_seed` / a ``figure[index]`` label when the
+    kwargs omit them.
+    """
+
+    figure: str
+    index: int
+    workload: str
+    kwargs: Dict[str, object] = dataclasses.field(default_factory=dict)
+
+    def run(self) -> RunResult:
+        kwargs = dict(self.kwargs)
+        kwargs.setdefault("seed", point_seed(self.figure, self.index))
+        kwargs.setdefault(
+            "name", f"{self.figure}[{self.index}] {self.workload}"
+        )
+        return run_experiment(self.workload, **kwargs)
+
+
+def _run_point(point: SweepPoint) -> RunResult:
+    # Module-level so ProcessPoolExecutor can pickle it by reference.
+    return point.run()
+
+
+def run_sweep(
+    points: Iterable[SweepPoint],
+    *,
+    workers: Optional[int] = None,
+) -> List[RunResult]:
+    """Run sweep points across worker processes; results in point order.
+
+    ``workers=None`` uses the CPU count; ``workers <= 1`` (or a
+    single-point sweep) runs serially in-process, which the
+    determinism contract guarantees is indistinguishable from the
+    parallel path — tests/test_parallel_sweep.py asserts RunResult
+    equality between the two.
+    """
+    points = list(points)
+    if not points:
+        return []
+    if workers is None:
+        workers = os.cpu_count() or 1
+    workers = min(workers, len(points))
+    if workers <= 1:
+        return [_run_point(p) for p in points]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(_run_point, points))
+
+
+# Smoke points shrink the device (64 MiB physical) and the trace so one
+# point per run_experiment-driven figure finishes in seconds; the CI
+# smoke job sweeps them all through run_sweep.
+_SMOKE_SCALE = Scale(num_superblocks=128)
+
+
+def smoke_points(num_ops: int = 40_000) -> List[SweepPoint]:
+    """One representative point per trace-replay figure/table bench."""
+
+    def kw(**kwargs: object) -> Dict[str, object]:
+        kwargs.setdefault("scale", _SMOKE_SCALE)
+        kwargs.setdefault("num_ops", num_ops)
+        return kwargs
+
+    smoke_dram = int(
+        _SMOKE_SCALE.geometry().logical_bytes * 0.9 * 0.022
+    )
+    return [
+        SweepPoint(
+            "fig05_dlwa_timeline", 0, "kvcache",
+            kw(fdp=False, utilization=0.9),
+        ),
+        SweepPoint(
+            "fig06_utilization_sweep", 3, "kvcache",
+            kw(fdp=True, utilization=1.0),
+        ),
+        SweepPoint(
+            "fig07_twitter", 0, "twitter",
+            kw(fdp=True, utilization=0.9),
+        ),
+        SweepPoint(
+            "fig08_wo_kvcache", 0, "wo-kvcache",
+            kw(fdp=True, utilization=0.9),
+        ),
+        SweepPoint(
+            "fig09_soc_sweep", 1, "kvcache",
+            kw(fdp=True, utilization=0.9, soc_fraction=0.16),
+        ),
+        SweepPoint(
+            "fig13_wo_util_sweep", 2, "wo-kvcache",
+            kw(fdp=False, utilization=1.0),
+        ),
+        SweepPoint(
+            "table2_dram_sweep", 1, "kvcache",
+            kw(fdp=True, utilization=0.9, dram_bytes=smoke_dram),
+        ),
+    ]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI: ``python -m repro.bench.parallel [--workers N] [--smoke]``."""
+    import argparse
+    import time
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.parallel",
+        description="Fan benchmark sweep points across worker processes.",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes (default: CPU count; 1 = serial)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="run the reduced one-point-per-figure smoke sweep",
+    )
+    parser.add_argument(
+        "--num-ops", type=int, default=40_000,
+        help="operations per smoke point (default 40000)",
+    )
+    args = parser.parse_args(argv)
+    points = smoke_points(args.num_ops)
+    if not args.smoke:
+        parser.error("only the --smoke sweep is wired up as a CLI")
+    start = time.perf_counter()
+    results = run_sweep(points, workers=args.workers)
+    elapsed = time.perf_counter() - start
+    print(
+        f"{len(results)} points in {elapsed:.1f}s "
+        f"(workers={args.workers or os.cpu_count()})"
+    )
+    print(f"{'point':<40} {'DLWA':>6} {'hit%':>6} {'kops':>8}")
+    for result in results:
+        print(
+            f"{result.name:<40} {result.steady_dlwa:>6.2f} "
+            f"{result.hit_ratio * 100:>6.1f} "
+            f"{result.throughput_kops:>8.1f}"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -109,6 +109,7 @@ def build_experiment(
     scale: Scale = DEFAULT_SCALE,
     cache_overrides: Optional[Dict[str, object]] = None,
     faults: Optional[FaultConfig] = None,
+    io_path: str = "batched",
 ) -> HybridCache:
     """Create a device + hybrid cache pair for one experiment arm.
 
@@ -119,11 +120,15 @@ def build_experiment(
     ``faults`` (default ``None`` — a perfectly reliable device) attaches
     a seed-driven :class:`~repro.faults.model.FaultConfig` to the
     simulated SSD for chaos runs.
+    ``io_path`` selects the FTL submission path (``"batched"`` extent
+    fast path or the reference ``"scalar"`` per-page loop); the two are
+    bit-identical (tests/test_differential_batch.py), so benches only
+    flip this to measure the speedup itself.
     """
     if not 0.0 < utilization <= 1.0:
         raise ValueError("utilization must be in (0, 1]")
     geometry = scale.geometry()
-    device = SimulatedSSD(geometry, fdp=fdp, faults=faults)
+    device = SimulatedSSD(geometry, fdp=fdp, faults=faults, io_path=io_path)
     # Reserve the metadata slice out of the cache's share so a
     # 100%-utilization layout still fits the advertised capacity.
     meta_pages = CacheConfig.__dataclass_fields__["metadata_pages"].default
@@ -159,6 +164,7 @@ def run_experiment(
     replay: Optional[ReplayConfig] = None,
     name: Optional[str] = None,
     faults: Optional[FaultConfig] = None,
+    io_path: str = "batched",
 ) -> RunResult:
     """Build one arm (device, cache, trace) and replay it."""
     cache = build_experiment(
@@ -168,6 +174,7 @@ def run_experiment(
         dram_bytes=dram_bytes,
         scale=scale,
         faults=faults,
+        io_path=io_path,
     )
     trace = make_trace(
         workload,

@@ -163,6 +163,11 @@ class LargeObjectCache:
         interferes with subsequent reads, which is the p99 effect the
         paper measures — but the caller is not blocked on it, hence the
         returned completion time is ``now_ns``.
+
+        The whole region goes down as one multi-page write command, so
+        it rides the FTL's batched extent path (DESIGN.md §10): one
+        placement lookup and journal run per reclaim-unit-sized chunk
+        instead of per page.
         """
         region = self._open
         page_size = self.device.ssd.page_size
@@ -341,6 +346,7 @@ class LargeObjectCache:
         self._clean.clear()
 
         intact: List[Tuple[int, int, int, tuple]] = []  # (seq, rid, used, manifest)
+        trims: List[Tuple] = []
         lost = 0
         for rid in range(self.num_regions):
             payloads = self.device.read_payload(
@@ -361,9 +367,12 @@ class LargeObjectCache:
             if any(p is not None for p in payloads):
                 # Torn or stale pages: drop them so the device stops
                 # carrying dead data for a region we no longer trust.
-                self.device.deallocate(self._region_lba(rid), self.region_pages)
+                # Collected and issued as one batched TRIM below.
+                trims.append(("trim", self._region_lba(rid), self.region_pages))
                 lost += 1
             self._clean.append(rid)
+        if trims:
+            self.device.submit_batch(trims)
 
         items = 0
         intact.sort()

@@ -151,6 +151,43 @@ class SmallObjectCache:
         self._blooms[bucket].rebuild(())
         return dropped
 
+    def _bucket_payload(self, bucket: int):
+        """Build the on-flash header payload for one bucket rewrite
+        (advancing its generation), or ``None`` when metadata
+        persistence is off."""
+        if not self.persist_metadata:
+            return None
+        self._generations[bucket] += 1
+        return (
+            "soc",
+            bucket,
+            self._generations[bucket],
+            tuple(self._buckets[bucket].items()),
+        )
+
+    def _stage_bucket_items(self, bucket: int, items: List[CacheItem]) -> int:
+        """Stage ``items`` into a bucket's in-memory image (evicting
+        FIFO on overflow) without touching flash.  Returns how many
+        were admitted; the caller issues the bucket rewrite."""
+        entries = self._buckets[bucket]
+        admitted = 0
+        for item in items:
+            if not self.accepts(item):
+                continue
+            nbytes = self._entry_bytes(item)
+            old = entries.pop(item.key, None)
+            if old is not None:
+                self._used[bucket] -= old
+            entries[item.key] = nbytes
+            self._used[bucket] += nbytes
+            self.app_bytes_written += item.size
+            admitted += 1
+        while self._used[bucket] > self.usable_bucket_bytes:
+            _, evicted_bytes = entries.popitem(last=False)
+            self._used[bucket] -= evicted_bytes
+            self.evictions += 1
+        return admitted
+
     def _write_bucket(self, bucket: int, now_ns: int) -> int:
         """Rewrite a whole bucket page on flash and rebuild its bloom.
 
@@ -158,15 +195,7 @@ class SmallObjectCache:
         drops the bucket rather than raising: the engine keeps serving,
         the lost entries simply re-enter as misses later.
         """
-        payload = None
-        if self.persist_metadata:
-            self._generations[bucket] += 1
-            payload = (
-                "soc",
-                bucket,
-                self._generations[bucket],
-                tuple(self._buckets[bucket].items()),
-            )
+        payload = self._bucket_payload(bucket)
         try:
             done = self.device.write(
                 self.base_lba + bucket, 1, self.handle, now_ns,
@@ -220,30 +249,69 @@ class SmallObjectCache:
         if not items:
             return 0, now_ns
         bucket = self.bucket_of(items[0].key)
-        admitted = 0
         for item in items:
             if self.bucket_of(item.key) != bucket:
                 raise ValueError("insert_many requires a single bucket")
-            if not self.accepts(item):
-                continue
-            entries = self._buckets[bucket]
-            nbytes = self._entry_bytes(item)
-            old = entries.pop(item.key, None)
-            if old is not None:
-                self._used[bucket] -= old
-            entries[item.key] = nbytes
-            self._used[bucket] += nbytes
-            self.app_bytes_written += item.size
-            admitted += 1
-        while self._used[bucket] > self.usable_bucket_bytes:
-            _, evicted_bytes = self._buckets[bucket].popitem(last=False)
-            self._used[bucket] -= evicted_bytes
-            self.evictions += 1
+        admitted = self._stage_bucket_items(bucket, items)
         if admitted == 0:
             return 0, now_ns
         done = self._write_bucket(bucket, now_ns)
         self.inserts += admitted
         return admitted, done
+
+    def insert_many_batched(
+        self, batches: List[List[CacheItem]], now_ns: int = 0
+    ) -> Tuple[int, int]:
+        """Move several buckets' worth of items with one batched submit.
+
+        Each element of ``batches`` is a single-bucket item list (the
+        :meth:`insert_many` contract); all destination buckets are
+        staged in memory first, then the rewrites go down as *one*
+        :meth:`~repro.core.device_layer.FdpAwareDevice.submit_batch`
+        call so the per-command Python overhead is paid once.  The
+        device busy clock serializes the page programs in submission
+        order, so completion times — and every counter — match the
+        per-bucket :meth:`insert_many` loop exactly.  Per-command
+        outcomes preserve the scalar degradation path: a bucket whose
+        rewrite fails is dropped (:meth:`_drop_bucket`) while the rest
+        of the batch lands.  Returns ``(admitted, completion_ns)``.
+        """
+        staged: List[Tuple[int, int]] = []
+        commands: List[Tuple] = []
+        for items in batches:
+            if not items:
+                continue
+            bucket = self.bucket_of(items[0].key)
+            for item in items:
+                if self.bucket_of(item.key) != bucket:
+                    raise ValueError("insert_many requires a single bucket")
+            admitted = self._stage_bucket_items(bucket, items)
+            if admitted == 0:
+                continue
+            staged.append((bucket, admitted))
+            commands.append(
+                ("write", self.base_lba + bucket, 1, self.handle,
+                 self._bucket_payload(bucket))
+            )
+        if not staged:
+            return 0, now_ns
+        outcomes = self.device.submit_batch(commands, now_ns)
+        done = now_ns
+        total = 0
+        for (bucket, admitted), outcome in zip(staged, outcomes):
+            if outcome.ok:
+                done = outcome.value
+                self.flash_writes += 1
+                self.ssd_bytes_written += self.bucket_size
+                self._blooms[bucket].rebuild(self._buckets[bucket].keys())
+            else:
+                # Same degradation as _write_bucket: the rewrite failed,
+                # flash no longer matches memory, drop the bucket.
+                self.write_errors += 1
+                self.write_drops += self._drop_bucket(bucket)
+            self.inserts += admitted
+            total += admitted
+        return total, done
 
     def lookup(self, key: int, now_ns: int = 0) -> Tuple[Optional[CacheItem], int]:
         """Look up a key; returns ``(item_or_None, completion_ns)``.

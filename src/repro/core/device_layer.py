@@ -20,10 +20,11 @@ over the simulated SSD:
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..faults.errors import ProgramFailError, UncorrectableReadError
+from ..faults.errors import MediaError, ProgramFailError, UncorrectableReadError
 from ..fdp.ruh import PlacementIdentifier
+from ..ssd.batch import OP_READ, OP_TRIM, OP_WRITE, BatchCommand, BatchOutcome
 from ..ssd.device import SimulatedSSD
 from .placement import DEFAULT_HANDLE, PlacementHandle, PlacementHandleAllocator
 
@@ -255,6 +256,58 @@ class FdpAwareDevice:
             q.complete()
         self.bytes_read += npages * self.ssd.page_size
         return result
+
+    def submit_batch(
+        self,
+        entries: Sequence[Tuple],
+        now_ns: int = 0,
+        worker: str = "worker-0",
+    ) -> List[BatchOutcome]:
+        """Submit many tagged commands in one call (one queue window).
+
+        Each entry is ``(op, lba, npages[, handle[, payload]])`` with
+        ``op`` one of ``"write"``/``"read"``/``"trim"``; the handle
+        defaults to :data:`~repro.core.placement.DEFAULT_HANDLE`.  All
+        commands are submitted at ``now_ns`` and the device busy clock
+        serializes their media work in order, exactly as a queue-
+        depth-1 caller threading completion times would observe — the
+        saving is per-command Python overhead (the batched FTL extent
+        path does the heavy lifting below).
+
+        Unlike :meth:`write`/:meth:`read`, a media error that survives
+        the per-command retry budget does *not* abort the batch: like a
+        real completion queue, each command gets its own
+        :class:`~repro.ssd.batch.BatchOutcome` and later entries still
+        run.  Power loss still propagates — the whole device is dark.
+        """
+        outcomes: List[BatchOutcome] = []
+        for entry in entries:
+            op, lba, npages = entry[0], entry[1], entry[2]
+            handle = entry[3] if len(entry) > 3 and entry[3] is not None else DEFAULT_HANDLE
+            payload = entry[4] if len(entry) > 4 else None
+            if op == OP_WRITE:
+                cmd = BatchCommand(op, lba, npages, payload=payload)
+                try:
+                    value = self.write(
+                        lba, npages, handle, now_ns, worker, payload
+                    )
+                except MediaError as exc:
+                    outcomes.append(BatchOutcome(cmd, False, error=exc))
+                    continue
+            elif op == OP_READ:
+                cmd = BatchCommand(op, lba, npages)
+                try:
+                    value = self.read(lba, npages, now_ns, worker)
+                except MediaError as exc:
+                    outcomes.append(BatchOutcome(cmd, False, error=exc))
+                    continue
+            elif op == OP_TRIM:
+                cmd = BatchCommand(op, lba, npages)
+                value = self.ssd.deallocate(lba, npages)
+            else:
+                raise ValueError(f"unknown batch op {op!r}")
+            outcomes.append(BatchOutcome(cmd, True, value=value))
+        return outcomes
 
     def deallocate(self, lba: int, npages: int = 1) -> int:
         """TRIM a range through the device layer."""

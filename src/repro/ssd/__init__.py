@@ -7,6 +7,7 @@ Samsung PM9D3 FDP SSD the paper evaluates on (see DESIGN.md for the
 substitution rationale).
 """
 
+from .batch import OP_READ, OP_TRIM, OP_WRITE, BatchCommand, BatchOutcome
 from .device import SimulatedSSD
 from .energy import EnergyCosts, EnergyModel
 from .namespace import Namespace, NamespaceManager
@@ -40,6 +41,11 @@ from .superblock import Superblock, SuperblockState
 
 __all__ = [
     "SimulatedSSD",
+    "BatchCommand",
+    "BatchOutcome",
+    "OP_WRITE",
+    "OP_READ",
+    "OP_TRIM",
     "Namespace",
     "NamespaceManager",
     "WearStats",

@@ -1,0 +1,92 @@
+"""Batched I/O submission: command descriptors and outcomes.
+
+"How to Write to SSDs" (PVLDB '26) argues the natural SSD write
+interface is a batched, stream-aware submission queue rather than one
+synchronous call per page.  This module defines the device-neutral
+command vocabulary for that interface:
+
+* :class:`BatchCommand` — one write/read/trim in a submission batch,
+  optionally tagged with an FDP placement identifier.
+* :class:`BatchOutcome` — the per-command completion record returned
+  by :meth:`repro.core.device_layer.FdpAwareDevice.submit_batch`,
+  which (like a real completion queue) reports media errors per entry
+  instead of aborting the whole batch.
+
+:meth:`repro.ssd.device.SimulatedSSD.submit_batch` consumes these at
+the NVMe surface; the cache engines build them when flushing many
+buckets/regions in one submission window.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Sequence, Union
+
+from ..fdp.ruh import PlacementIdentifier
+
+__all__ = [
+    "OP_WRITE",
+    "OP_READ",
+    "OP_TRIM",
+    "BatchCommand",
+    "BatchOutcome",
+]
+
+OP_WRITE = "write"
+OP_READ = "read"
+OP_TRIM = "trim"
+
+_VALID_OPS = (OP_WRITE, OP_READ, OP_TRIM)
+
+
+@dataclasses.dataclass(frozen=True)
+class BatchCommand:
+    """One entry in a submission batch.
+
+    ``pid`` (writes only) carries the FDP placement identifier exactly
+    as a standalone ``write`` would; ``payload`` rides in the written
+    pages' out-of-band metadata.  Reads and TRIMs ignore both.
+    """
+
+    op: str
+    lba: int
+    npages: int = 1
+    pid: Optional[PlacementIdentifier] = None
+    payload: object = None
+
+    def __post_init__(self) -> None:
+        if self.op not in _VALID_OPS:
+            raise ValueError(
+                f"op must be one of {_VALID_OPS}, got {self.op!r}"
+            )
+        if self.npages <= 0:
+            raise ValueError("npages must be positive")
+        if self.lba < 0:
+            raise ValueError("lba must be non-negative")
+
+    @classmethod
+    def coerce(
+        cls, entry: Union["BatchCommand", Sequence]
+    ) -> "BatchCommand":
+        """Accept a ``BatchCommand`` or an ``(op, lba[, npages, pid,
+        payload])`` tuple, for terse call sites."""
+        if isinstance(entry, cls):
+            return entry
+        return cls(*entry)
+
+
+@dataclasses.dataclass
+class BatchOutcome:
+    """Completion-queue entry for one batched command.
+
+    ``ok`` is ``False`` when the command's retry budget was exhausted
+    by a media error; ``error`` then holds the exception and ``value``
+    is ``None``.  For successful commands ``value`` is exactly what the
+    standalone call would have returned: completion ns for writes,
+    ``(mapped, completion_ns)`` for reads, pages invalidated for TRIMs.
+    """
+
+    command: BatchCommand
+    ok: bool
+    value: object = None
+    error: Optional[BaseException] = None

@@ -19,13 +19,14 @@ host, which is how the paper runs it as well.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..faults.model import FaultConfig, FaultModel, HealthLogPage
 from ..fdp.config import FdpConfiguration, default_configuration
 from ..fdp.events import FdpEventLog
 from ..fdp.logpage import FdpStatisticsLogPage
 from ..fdp.ruh import PlacementIdentifier
+from .batch import OP_READ, OP_TRIM, OP_WRITE, BatchCommand
 from .energy import EnergyCosts, EnergyModel
 from .ftl import Ftl
 from .geometry import Geometry
@@ -76,6 +77,7 @@ class SimulatedSSD:
         checkpoint_interval_pages: Optional[int] = None,
         journal_flush_interval: Optional[int] = None,
         power_seed: Optional[int] = None,
+        io_path: str = "batched",
     ) -> None:
         self.geometry = geometry
         if fdp is True:
@@ -96,6 +98,7 @@ class SimulatedSSD:
         self._checkpoint_interval = checkpoint_interval_pages
         self._journal_flush_interval = journal_flush_interval
         self._power_seed = power_seed
+        self.io_path = io_path
         self.ftl = self._new_ftl()
 
     def _new_fault_model(self) -> Optional[FaultModel]:
@@ -124,6 +127,7 @@ class SimulatedSSD:
             gc_victim_sample=self._gc_victim_sample,
             wear_level_threshold=self._wear_level_threshold,
             faults=self._new_fault_model(),
+            io_path=self.io_path,
             **extra,
         )
 
@@ -196,6 +200,46 @@ class SimulatedSSD:
         if npages <= 0:
             raise ValueError("npages must be positive")
         return self.ftl.deallocate(lba, npages)
+
+    def submit_batch(
+        self,
+        commands: Iterable[Union[BatchCommand, Sequence]],
+        now_ns: int = 0,
+    ) -> List[object]:
+        """Submit an ordered batch of commands in one call.
+
+        Each entry is a :class:`~repro.ssd.batch.BatchCommand` (or an
+        ``(op, lba[, npages, pid, payload])`` tuple) executed exactly
+        as the standalone :meth:`write`/:meth:`read`/:meth:`deallocate`
+        call would be at ``now_ns`` — the busy-clock latency model
+        serializes the media work, so command *k* starts when *k-1*'s
+        media finishes, just as a queue-depth-1 caller threading
+        completion times would observe.  Returns one result per
+        command (write → completion ns, read → ``(mapped, ns)``, trim
+        → pages invalidated).
+
+        Media errors propagate as the standalone call would raise
+        them; commands ordered before the failing one have executed.
+        For per-command error capture use the device layer's
+        :meth:`~repro.core.device_layer.FdpAwareDevice.submit_batch`.
+        """
+        results: List[object] = []
+        for entry in commands:
+            cmd = BatchCommand.coerce(entry)
+            if cmd.op == OP_WRITE:
+                results.append(
+                    self.ftl.write_range(
+                        cmd.lba, cmd.npages, cmd.pid, now_ns, cmd.payload
+                    )
+                )
+            elif cmd.op == OP_READ:
+                results.append(
+                    self.ftl.read_range(cmd.lba, cmd.npages, now_ns)
+                )
+            else:
+                assert cmd.op == OP_TRIM  # coerce() already validated
+                results.append(self.ftl.deallocate(cmd.lba, cmd.npages))
+        return results
 
     def format(self) -> None:
         """Return the device to a clean state (whole-device TRIM +

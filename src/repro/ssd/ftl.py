@@ -27,6 +27,7 @@ from __future__ import annotations
 import collections
 import random
 from array import array
+from bisect import bisect_left, insort
 from typing import Deque, Dict, List, Optional, Tuple
 
 from typing import TYPE_CHECKING
@@ -132,6 +133,17 @@ class Ftl:
         every read, program, and erase.  ``None`` (the default) keeps
         the device perfectly reliable and the I/O path bit-identical to
         a fault-free build.
+    io_path:
+        ``"batched"`` (default) programs multi-page writes in whole
+        per-superblock extents, amortizing placement lookup, OOB
+        stamping, journal appends, and accounting across each chunk;
+        ``"scalar"`` keeps the page-at-a-time reference loop.  The two
+        paths are bit-identical — same L2P, stats, events, latency,
+        energy, and recovery trail — which the differential harness in
+        ``tests/test_differential_batch.py`` enforces (DESIGN.md §10).
+        With fault injection attached, multi-page writes always take
+        the scalar loop so per-page fault-plan interleave points (the
+        Nth program) keep their exact meaning.
     """
 
     def __init__(
@@ -151,10 +163,16 @@ class Ftl:
         checkpoint_interval_pages: int = CHECKPOINT_INTERVAL_PAGES,
         journal_flush_interval: int = JOURNAL_FLUSH_INTERVAL,
         power_seed: int = 0x9C7A,
+        io_path: str = "batched",
     ) -> None:
         self.geometry = geometry
         self.fdp_config = fdp_config
         self.faults = faults
+        if io_path not in ("batched", "scalar"):
+            raise ValueError(
+                f"io_path must be 'batched' or 'scalar', got {io_path!r}"
+            )
+        self.io_path = io_path
         self.latency = latency if latency is not None else LatencyModel()
         self.energy = energy if energy is not None else EnergyModel()
         self.events = events if events is not None else FdpEventLog()
@@ -185,6 +203,15 @@ class Ftl:
         ]
         self._free: List[int] = list(range(geometry.num_superblocks))
         self._free.reverse()  # pop() hands out low indices first
+        # CLOSED superblock indices in ascending order, maintained
+        # incrementally so victim selection never rescans the whole
+        # device (the scan order matches iterating ``superblocks``, so
+        # selection and its RNG draws are unchanged).
+        self._closed: List[int] = []
+        # Reusable superblock-sized source slices for the erase path's
+        # P2L/OOB wipe (slice assignment copies the values out).
+        self._erased_p2l = array("i", [-1] * pps)
+        self._erased_oob: List[Optional[OobRecord]] = [None] * pps
         self._write_points: Dict[StreamKey, Superblock] = {}
         # Host pages written per stream key, for per-handle accounting.
         self.stream_host_pages: Dict[StreamKey, int] = {}
@@ -318,6 +345,7 @@ class Ftl:
         if sb is None:
             return
         sb.close()
+        insort(self._closed, sb.index)
         rg, ruh = stream[1], stream[2]
         self.events.record(
             FdpEvent(
@@ -410,13 +438,10 @@ class Ftl:
         on the Non-FDP baseline even at 50 % utilization.  Set
         ``gc_victim_sample=None`` for an idealized global greedy.
         """
-        closed = [
-            sb
-            for sb in self.superblocks
-            if sb.state is SuperblockState.CLOSED
-        ]
+        closed = self._closed
         if not closed:
             return None
+        superblocks = self.superblocks
         window = closed
         if (
             self.gc_victim_sample is not None
@@ -427,8 +452,9 @@ class Ftl:
                 closed[(start + i) % len(closed)]
                 for i in range(self.gc_victim_sample)
             ]
-        best = window[0]
-        for sb in window:
+        best = superblocks[window[0]]
+        for idx in window:
+            sb = superblocks[idx]
             if sb.valid_pages < best.valid_pages:
                 best = sb
                 if best.valid_pages == 0:
@@ -513,12 +539,14 @@ class Ftl:
         # window), making everything issued so far durable.
         self._inflight.clear()
         base = victim.index * self._pps
-        for off in range(self._pps):
-            self._p2l[base + off] = -1
-            # The erase (or retirement) destroys the pages' OOB trail;
-            # clearing it here keeps recovery from resurrecting stale
-            # mappings out of recycled blocks.
-            self._oob[base + off] = None
+        # The erase (or retirement) destroys the pages' OOB trail;
+        # clearing it here keeps recovery from resurrecting stale
+        # mappings out of recycled blocks.  (Slice stores: this runs
+        # for every reclaimed superblock, so it is hot at high DLWA.)
+        self._p2l[base : base + self._pps] = self._erased_p2l
+        self._oob[base : base + self._pps] = self._erased_oob
+        # The victim leaves CLOSED on either branch below.
+        del self._closed[bisect_left(self._closed, victim.index)]
         if self.faults is not None and self.faults.fail_erase(
             victim.index, victim.erase_count + 1
         ):
@@ -670,6 +698,101 @@ class Ftl:
         )
         self._pages_since_checkpoint += 1
 
+    def _write_extent_fast(
+        self,
+        lba: int,
+        npages: int,
+        stream: StreamKey,
+        now_ns: int,
+        payload: object,
+        ppns: List[int],
+    ) -> None:
+        """Program ``npages`` consecutive LBAs as whole extents.
+
+        The batched twin of looping :meth:`_host_write_page`: the range
+        is split into chunks at reclaim-unit (superblock) boundaries
+        and each chunk is programmed in one tight loop with the hot
+        state hoisted to locals, charging stats/energy/checkpoint
+        counters once per chunk instead of once per page.  Per-page
+        effects that recovery depends on — sequence numbers, OOB
+        records, journal appends (and therefore journal flush
+        boundaries) — stay per-page, so the persistent trail is
+        byte-for-byte the trail the scalar loop leaves.
+
+        GC ordering is preserved exactly: the scalar path invalidates a
+        page's old mapping *before* the allocation that may trigger GC,
+        so a collection pass never migrates a copy the in-flight
+        command is about to supersede.  The fast path replicates that
+        by invalidating the chunk-opening page before
+        :meth:`_collect_until_reserve` runs; mid-chunk pages cannot
+        trigger GC (the chunk never outgrows the open superblock), so
+        their invalidations inside the loop are equivalent to the
+        scalar interleaving.
+
+        Only called with ``faults is None`` — per-page fault and
+        power-loss draws are the scalar loop's job.
+        """
+        l2p = self._l2p
+        p2l = self._p2l
+        oob = self._oob
+        superblocks = self.superblocks
+        pps = self._pps
+        write_points = self._write_points
+        journal_run = self._journal.append_run
+        stats = self.stats
+        cur = lba
+        end = lba + npages
+        while cur < end:
+            sb = write_points.get(stream)
+            if sb is None:
+                # Scalar-path order: the page that triggers allocation
+                # invalidates its old mapping first, then GC runs.
+                old = l2p[cur]
+                if old >= 0:
+                    superblocks[old // pps].valid_pages -= 1
+                    l2p[cur] = -1
+                if stream[0] == HOST_STREAM:
+                    self._collect_until_reserve(now_ns)
+                sb = self._pop_free(stream)
+                write_points[stream] = sb
+            chunk = end - cur
+            room = pps - sb.write_ptr
+            if chunk > room:
+                chunk = room
+            base = sb.index * pps + sb.write_ptr
+            # Invalidate the chunk's old mappings (snapshot the slice
+            # first: the new ppns land in erased pages, so no old
+            # mapping can alias the destination), then install the new
+            # run with two C-level slice stores.
+            for old in l2p[cur : cur + chunk]:
+                if old >= 0:
+                    superblocks[old // pps].valid_pages -= 1
+            l2p[cur : cur + chunk] = array("i", range(base, base + chunk))
+            p2l[base : base + chunk] = array("i", range(cur, cur + chunk))
+            seq = self._seq
+            oob[base : base + chunk] = [
+                OobRecord(lb, sq, stream, payload)
+                for lb, sq in zip(
+                    range(cur, cur + chunk),
+                    range(seq + 1, seq + chunk + 1),
+                )
+            ]
+            journal_run(seq + 1, cur, base, chunk)
+            self._seq = seq + chunk
+            ppns.extend(range(base, base + chunk))
+            sb.write_ptr += chunk
+            sb.valid_pages += chunk
+            stats.host_pages_written += chunk
+            stats.nand_pages_written += chunk
+            self.energy.add_programs(chunk)
+            self.stream_host_pages[stream] = (
+                self.stream_host_pages.get(stream, 0) + chunk
+            )
+            self._pages_since_checkpoint += chunk
+            cur += chunk
+            if sb.write_ptr == pps:
+                self._close_write_point(stream, now_ns)
+
     def write(
         self,
         lba: int,
@@ -714,8 +837,15 @@ class Ftl:
         stream = self._host_stream(pid)
         ppns: List[int] = []
         try:
-            for i in range(npages):
-                self._host_write_page(lba + i, stream, now_ns, payload, ppns)
+            if self.io_path == "batched" and self.faults is None:
+                self._write_extent_fast(
+                    lba, npages, stream, now_ns, payload, ppns
+                )
+            else:
+                for i in range(npages):
+                    self._host_write_page(
+                        lba + i, stream, now_ns, payload, ppns
+                    )
         except PowerLossError as exc:
             exc.lba = lba
             exc.npages = npages
@@ -756,9 +886,9 @@ class Ftl:
         self._check_lba(lba + npages - 1)
         self.stats.host_pages_read += npages
         self.energy.add_reads(npages)
-        all_mapped = all(
-            self._l2p[cur] >= 0 for cur in range(lba, lba + npages)
-        )
+        # The L2P map is a flat array("i"), so the mapped-range check is
+        # one C-level slice + min instead of a Python loop per page.
+        all_mapped = min(self._l2p[lba : lba + npages]) >= 0
         done = self._inject_host_spike(self.latency.host_read(now_ns, npages))
         self._inject_read_faults(lba, npages, now_ns)
         return all_mapped, done
@@ -776,6 +906,11 @@ class Ftl:
         self._check_online()
         self._check_lba(lba)
         self._check_lba(lba + npages - 1)
+        # Wholly unmapped ranges (common for region TRIMs after a GC-
+        # style eviction) are detected with one array-slice max — no
+        # mapping changes, no journal traffic, no write barrier.
+        if max(self._l2p[lba : lba + npages]) < 0:
+            return 0
         invalidated = 0
         for cur in range(lba, lba + npages):
             ppn = self._l2p[cur]
@@ -1060,3 +1195,11 @@ class Ftl:
             assert (
                 self.superblocks[idx].state is SuperblockState.FREE
             ), f"superblock {idx} in free pool but {self.superblocks[idx].state}"
+        closed_scan = [
+            sb.index
+            for sb in self.superblocks
+            if sb.state is SuperblockState.CLOSED
+        ]
+        assert self._closed == closed_scan, (
+            f"closed-set cache {self._closed} != scan {closed_scan}"
+        )

@@ -146,6 +146,31 @@ class MappingJournal:
         if len(self.buffer) >= self.flush_interval:
             self.force_flush()
 
+    def append_run(self, seq: int, lba: int, ppn: int, count: int) -> None:
+        """Append ``count`` entries for consecutively programmed pages
+        (``seq``/``lba``/``ppn`` each advancing by one per page).
+
+        The batched extent path journals a whole chunk through this;
+        flushes fire at exactly the interval boundaries the per-page
+        :meth:`append` loop would hit, so power-cut durability (which
+        entries were flushed when) is unchanged by batching.
+        """
+        buffer = self.buffer
+        done = 0
+        while done < count:
+            take = min(count - done, self.flush_interval - len(buffer))
+            s, l, p = seq + done, lba + done, ppn + done
+            buffer.extend(
+                zip(
+                    range(s, s + take),
+                    range(l, l + take),
+                    range(p, p + take),
+                )
+            )
+            done += take
+            if len(buffer) >= self.flush_interval:
+                self.force_flush()
+
     def force_flush(self) -> None:
         """Move the volatile buffer into the durable region."""
         if self.buffer:
@@ -395,6 +420,11 @@ def rebuild_ftl_state(ftl) -> RecoveryReport:
     free.sort(reverse=True)
     ftl._free = free
     ftl._write_points = write_points
+    ftl._closed = [
+        sb.index
+        for sb in ftl.superblocks
+        if sb.state is SuperblockState.CLOSED
+    ]
     ftl._seq = max_seq
 
     return RecoveryReport(

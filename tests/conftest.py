@@ -4,6 +4,23 @@ from __future__ import annotations
 
 import pytest
 
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help=(
+            "rewrite tests/golden/*.json from the current run instead of "
+            "comparing against it (then commit the diff deliberately)"
+        ),
+    )
+
+
+@pytest.fixture
+def update_golden(request: pytest.FixtureRequest) -> bool:
+    return request.config.getoption("--update-golden")
+
 from repro.fdp import PlacementIdentifier, RuhDescriptor, RuhType
 from repro.fdp.config import FdpConfiguration
 from repro.ssd import Geometry, SimulatedSSD

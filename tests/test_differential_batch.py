@@ -1,0 +1,236 @@
+"""Differential harness: the batched extent fast path vs the scalar loop.
+
+DESIGN.md §10's central invariant: ``io_path="batched"`` and
+``io_path="scalar"`` are *bit-identical* — not statistically similar —
+for any command stream.  Two devices replay the same commands and then
+every observable surface is compared: L2P/P2L arrays, OOB records
+(lba, seq, stream, payload, ok per physical page), the mapping
+journal's volatile buffer and flushed entries, the stats snapshot and
+FDP statistics log page, the FDP event stream, the busy-clock state,
+energy, and the health log.  Faulty devices take the scalar loop on
+both sides by construction (the fast path requires ``faults is
+None``), but still exercise the shared vectorized state — the
+incremental closed-superblock set, slice-based lookups — under media
+errors, retirements, and power cuts.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.faults.model import FaultConfig
+from repro.faults.plan import OP_POWER, ScriptedFault
+from repro.fdp import PlacementIdentifier
+from repro.ssd import Geometry, SimulatedSSD
+from repro.ssd.errors import MediaError, PowerLossError
+
+GEOMETRY = Geometry(
+    page_size=4096,
+    pages_per_block=4,
+    planes_per_die=2,
+    dies=2,
+    num_superblocks=32,
+    op_fraction=0.10,
+)
+N_LBAS = GEOMETRY.logical_pages
+MAX_EXTENT = 24  # spans > 1 superblock (16 pages) to force chunk splits
+
+
+def make_pair(fdp=False, faults=None, **kwargs):
+    scalar = SimulatedSSD(
+        GEOMETRY, fdp=fdp, faults=faults, io_path="scalar", **kwargs
+    )
+    batched = SimulatedSSD(
+        GEOMETRY, fdp=fdp, faults=faults, io_path="batched", **kwargs
+    )
+    return scalar, batched
+
+
+def synthetic_commands(seed, num_ops, *, use_pids=False, max_extent=MAX_EXTENT):
+    """A seeded mixed stream of multi-page writes, reads, and TRIMs."""
+    rng = random.Random(seed)
+    commands = []
+    # Cap the written span at ~80% of the logical space: several open
+    # FDP write points fragment the free pool, and a near-full device
+    # would legitimately throw DeviceFullError on both paths.
+    span = int(N_LBAS * 0.8)
+    for i in range(num_ops):
+        npages = rng.randrange(1, max_extent + 1)
+        lba = rng.randrange(0, span - npages)
+        pid = (
+            PlacementIdentifier(0, rng.randrange(0, 4))
+            if use_pids and rng.random() < 0.8
+            else None
+        )
+        roll = rng.random()
+        if roll < 0.70:
+            commands.append(("write", lba, npages, pid, ("tok", seed, i)))
+        elif roll < 0.85:
+            commands.append(("read", lba, npages, None, None))
+        else:
+            commands.append(("trim", lba, npages, None, None))
+    return commands
+
+
+def zipf_commands(seed, num_ops, *, alpha=1.2):
+    """Zipf-skewed single/multi-page writes — the cache-like pattern."""
+    rng = random.Random(seed)
+    # Precompute a Zipf-ish key popularity table over LBA starts.
+    starts = N_LBAS // 8
+    weights = [1.0 / (rank + 1) ** alpha for rank in range(starts)]
+    commands = []
+    for i in range(num_ops):
+        start = rng.choices(range(starts), weights)[0] * 8
+        npages = rng.randrange(1, 9)
+        if rng.random() < 0.8:
+            commands.append(("write", start, npages, None, ("z", seed, i)))
+        else:
+            commands.append(("read", start, npages, None, None))
+    return commands
+
+
+def replay(device, commands, *, recover_on_cut=True):
+    """Apply commands, logging every outcome (including exceptions)."""
+    now = 0
+    log = []
+    for op, lba, npages, pid, payload in commands:
+        try:
+            if op == "write":
+                now = device.write(lba, npages, pid, now, payload)
+                log.append(("w", now))
+            elif op == "read":
+                mapped, done = device.read(lba, npages, now)
+                now = done
+                log.append(("r", mapped, done))
+            else:
+                log.append(("t", device.deallocate(lba, npages)))
+        except PowerLossError as exc:
+            log.append(("cut", exc.pages_durable))
+            if not recover_on_cut:
+                break
+            report = device.recover()
+            log.append(("recovered", report.mappings_recovered,
+                        report.journal_entries_replayed))
+        except MediaError as exc:
+            log.append(("err", type(exc).__name__))
+    return log
+
+
+def oob_image(device):
+    return [
+        None if rec is None
+        else (rec.lba, rec.seq, rec.stream, rec.payload, rec.ok)
+        for rec in device.ftl._oob
+    ]
+
+
+def assert_identical(scalar, batched):
+    """Every observable surface of the two devices must match exactly."""
+    assert scalar.ftl._l2p == batched.ftl._l2p
+    assert scalar.ftl._p2l == batched.ftl._p2l
+    assert scalar.snapshot() == batched.snapshot()
+    assert scalar.get_log_page() == batched.get_log_page()
+    assert scalar.events.recent() == batched.events.recent()
+    assert scalar.ftl._journal.buffer == batched.ftl._journal.buffer
+    assert scalar.ftl._journal.flushed == batched.ftl._journal.flushed
+    assert oob_image(scalar) == oob_image(batched)
+    assert scalar.ftl.latency.busy_until == batched.ftl.latency.busy_until
+    assert (
+        scalar.ftl.latency.busy_ns_total == batched.ftl.latency.busy_ns_total
+    )
+    assert scalar.energy_kwh() == batched.energy_kwh()
+    assert scalar.get_health_log() == batched.get_health_log()
+    assert [
+        (sb.state, sb.write_ptr, sb.valid_pages, sb.erase_count)
+        for sb in scalar.ftl.superblocks
+    ] == [
+        (sb.state, sb.write_ptr, sb.valid_pages, sb.erase_count)
+        for sb in batched.ftl.superblocks
+    ]
+    scalar.check_invariants()
+    batched.check_invariants()
+
+
+@pytest.mark.parametrize("fdp", [False, True])
+@pytest.mark.parametrize("seed", [7, 2026])
+def test_synthetic_stream_bit_identical(fdp, seed):
+    commands = synthetic_commands(seed, 3000, use_pids=fdp)
+    scalar, batched = make_pair(fdp=fdp)
+    assert replay(scalar, commands) == replay(batched, commands)
+    assert_identical(scalar, batched)
+
+
+@pytest.mark.parametrize("fdp", [False, True])
+def test_zipf_stream_bit_identical(fdp):
+    commands = zipf_commands(99, 3000)
+    scalar, batched = make_pair(fdp=fdp)
+    assert replay(scalar, commands) == replay(batched, commands)
+    assert_identical(scalar, batched)
+
+
+def test_fault_plan_identical_exception_order():
+    """Probabilistic media errors + scripted retirements: both devices
+    run the scalar loop (fast path requires a fault-free device), but
+    the shared vectorized state must behave identically, including
+    which commands raise."""
+    faults = FaultConfig(
+        seed=0xBEEF,
+        read_uecc_rate=2e-3,
+        program_fail_rate=2e-3,
+        plan=(
+            ScriptedFault(op="erase", superblock=3, cycle=1),
+            ScriptedFault(op="erase", superblock=9, cycle=2),
+        ),
+    )
+    commands = synthetic_commands(11, 4000)
+    scalar, batched = make_pair(faults=faults)
+    log_s = replay(scalar, commands)
+    log_b = replay(batched, commands)
+    assert log_s == log_b
+    assert any(entry[0] == "err" for entry in log_s)
+    assert_identical(scalar, batched)
+
+
+@pytest.mark.parametrize("cut_index", [97, 1500])
+def test_scripted_power_cut_mid_command(cut_index):
+    """An OP_POWER plan entry tears one multi-page write mid-command at
+    the same host page-program index on both paths; recovery then
+    rebuilds the same state and the stream continues identically."""
+    faults = FaultConfig(
+        plan=(ScriptedFault(op=OP_POWER, op_index=cut_index),)
+    )
+    commands = synthetic_commands(5, 2500)
+    scalar, batched = make_pair(faults=faults)
+    log_s = replay(scalar, commands)
+    log_b = replay(batched, commands)
+    assert log_s == log_b
+    assert any(entry[0] == "cut" for entry in log_s)
+    assert_identical(scalar, batched)
+
+
+def test_external_power_cut_and_warm_restart():
+    """power_cut() between commands (fault-free devices, so the batched
+    side genuinely took the fast path before the cut), then recover and
+    keep writing."""
+    first = synthetic_commands(21, 1500)
+    second = synthetic_commands(22, 1500)
+    scalar, batched = make_pair(fdp=True)
+    assert replay(scalar, first) == replay(batched, first)
+    assert scalar.power_cut().torn_writes == batched.power_cut().torn_writes
+    scalar.recover()
+    batched.recover()
+    assert_identical(scalar, batched)
+    assert replay(scalar, second) == replay(batched, second)
+    assert_identical(scalar, batched)
+
+
+@pytest.mark.slow
+def test_differential_soak():
+    """Longer mixed soak at higher pressure (more GC wraps)."""
+    for seed in range(3):
+        commands = synthetic_commands(1000 + seed, 20_000, use_pids=True)
+        scalar, batched = make_pair(fdp=True)
+        assert replay(scalar, commands) == replay(batched, commands)
+        assert_identical(scalar, batched)

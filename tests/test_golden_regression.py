@@ -1,0 +1,85 @@
+"""Golden-trace regression fixtures for end-to-end run results.
+
+Three small experiment arms are replayed and their complete
+:class:`~repro.bench.metrics.RunResult` — DLWA, ALWA, hit ratios, p99
+latencies, GC activity, energy, the interval-DLWA series — is compared
+field-by-field against committed JSON under ``tests/golden/``.  Any
+behavioural drift in the device model, cache engines, or replay driver
+fails here even when no targeted unit test notices.
+
+Integer fields must match exactly (the simulator is deterministic);
+floats use a 1e-9 relative tolerance so a JSON round-trip never
+flakes.  To *intentionally* change behaviour, regenerate with::
+
+    pytest tests/test_golden_regression.py --update-golden
+
+and commit the resulting diff alongside the change that explains it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.bench import Scale, run_experiment
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+# Small but GC-active arms: ~48 MiB physical, tens of thousands of ops.
+_SCALE = Scale(num_superblocks=96, num_ops=30_000)
+
+CONFIGS = {
+    "kvcache_fdp_util90": dict(workload="kvcache", fdp=True, utilization=0.9),
+    "kvcache_nonfdp_util90": dict(
+        workload="kvcache", fdp=False, utilization=0.9
+    ),
+    "twitter_fdp_util50": dict(workload="twitter", fdp=True, utilization=0.5),
+}
+
+
+def run_config(name: str):
+    kwargs = dict(CONFIGS[name])
+    workload = kwargs.pop("workload")
+    return run_experiment(
+        workload, scale=_SCALE, seed=20260805, name=name, **kwargs
+    )
+
+
+def _assert_close(path: str, got, want) -> None:
+    if isinstance(want, float):
+        assert isinstance(got, (int, float)), f"{path}: {got!r} vs {want!r}"
+        assert math.isclose(got, want, rel_tol=1e-9, abs_tol=1e-12), (
+            f"{path}: drift {got!r} != golden {want!r}"
+        )
+    elif isinstance(want, list):
+        assert isinstance(got, list) and len(got) == len(want), (
+            f"{path}: length {len(got)} != golden {len(want)}"
+        )
+        for i, (g, w) in enumerate(zip(got, want)):
+            _assert_close(f"{path}[{i}]", g, w)
+    elif isinstance(want, dict):
+        assert isinstance(got, dict) and sorted(got) == sorted(want), (
+            f"{path}: keys {sorted(got)} != golden {sorted(want)}"
+        )
+        for key in want:
+            _assert_close(f"{path}.{key}", got[key], want[key])
+    else:
+        assert got == want, f"{path}: drift {got!r} != golden {want!r}"
+
+
+@pytest.mark.parametrize("name", sorted(CONFIGS))
+def test_golden_run_result(name: str, update_golden: bool) -> None:
+    data = dataclasses.asdict(run_config(name))
+    path = GOLDEN_DIR / f"{name}.json"
+    if update_golden:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+        pytest.skip(f"golden fixture rewritten: {path.name}")
+    assert path.exists(), (
+        f"missing golden fixture {path}; generate with --update-golden"
+    )
+    _assert_close(name, data, json.loads(path.read_text()))

@@ -12,6 +12,10 @@ import pytest
 from repro.bench import ReplayConfig, Scale, make_trace, run_experiment
 from repro.bench.driver import CacheBench
 
+# Minutes of trace replay: excluded from the fast tier-1 run (see
+# pyproject addopts); CI's slow job runs them on every push.
+pytestmark = pytest.mark.slow
+
 # Small enough to run in seconds, big enough to exercise GC.
 SCALE = Scale(num_superblocks=256, num_ops=250_000)
 HEAVY_OPS = 250_000

@@ -1,0 +1,62 @@
+"""The multiprocess sweep runner's determinism contract.
+
+Parallel and serial execution must merge to bit-identical RunResults,
+and a point's seed must depend only on (figure, index) — never on
+scheduling, worker count, or sibling points.
+"""
+
+from __future__ import annotations
+
+from repro.bench import Scale, SweepPoint, point_seed, run_sweep
+from repro.bench.parallel import smoke_points
+
+TINY_SCALE = Scale(num_superblocks=64, num_ops=8_000)
+
+
+def tiny_points():
+    return [
+        SweepPoint(
+            "test_sweep", 0, "kvcache",
+            {"fdp": True, "utilization": 0.9, "scale": TINY_SCALE},
+        ),
+        SweepPoint(
+            "test_sweep", 1, "kvcache",
+            {"fdp": False, "utilization": 0.9, "scale": TINY_SCALE},
+        ),
+    ]
+
+
+def test_point_seed_is_stable_and_decorrelated():
+    assert point_seed("fig06_utilization_sweep", 0) == point_seed(
+        "fig06_utilization_sweep", 0
+    )
+    seeds = {
+        point_seed(fig, i)
+        for fig in ("fig05_dlwa_timeline", "fig06_utilization_sweep")
+        for i in range(8)
+    }
+    assert len(seeds) == 16  # no collisions across figures/points
+
+
+def test_serial_and_parallel_sweeps_are_identical():
+    serial = run_sweep(tiny_points(), workers=1)
+    parallel = run_sweep(tiny_points(), workers=2)
+    assert serial == parallel  # RunResult dataclass equality, all fields
+    assert [r.name for r in serial] == [
+        "test_sweep[0] kvcache",
+        "test_sweep[1] kvcache",
+    ]
+
+
+def test_single_point_matches_its_sweep_value():
+    sweep = run_sweep(tiny_points(), workers=2)
+    alone = tiny_points()[1].run()
+    assert alone == sweep[1]
+
+
+def test_smoke_points_cover_the_figures():
+    points = smoke_points(num_ops=5_000)
+    figures = {p.figure for p in points}
+    assert {"fig05_dlwa_timeline", "fig06_utilization_sweep",
+            "table2_dram_sweep"} <= figures
+    assert all(p.kwargs["num_ops"] == 5_000 for p in points)

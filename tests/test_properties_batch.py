@@ -1,0 +1,121 @@
+"""Property tests: extent splitting in the batched fast path.
+
+Hypothesis drives arbitrary command streams — write extents sized to
+straddle reclaim-unit (superblock) boundaries, TRIMs, reads, multiple
+placement IDs, and an optional mid-stream power cut — through a scalar
+and a batched device.  Whatever GC triggers, write-point closes, or
+recovery the stream provokes, the final media state must be identical:
+the chunk splitting may never reorder work across a GC trigger point
+or a torn-write boundary relative to the per-page reference path.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.fdp import PlacementIdentifier
+from repro.ssd import Geometry, SimulatedSSD
+from repro.ssd.errors import PowerLossError
+
+GEOMETRY = Geometry(
+    page_size=4096,
+    pages_per_block=4,
+    planes_per_die=2,
+    dies=2,
+    num_superblocks=24,
+    op_fraction=0.15,
+)
+PAGES_PER_SUPERBLOCK = GEOMETRY.pages_per_superblock
+SPAN = int(GEOMETRY.logical_pages * 0.75)
+
+# Extents up to 2.5 reclaim units guarantee multi-chunk splits.
+command = st.one_of(
+    st.tuples(
+        st.just("write"),
+        st.integers(min_value=0, max_value=SPAN - 1),
+        st.integers(min_value=1, max_value=PAGES_PER_SUPERBLOCK * 5 // 2),
+        st.integers(min_value=0, max_value=3),
+    ),
+    st.tuples(
+        st.just("trim"),
+        st.integers(min_value=0, max_value=SPAN - 1),
+        st.integers(min_value=1, max_value=PAGES_PER_SUPERBLOCK),
+        st.just(0),
+    ),
+    st.tuples(
+        st.just("read"),
+        st.integers(min_value=0, max_value=SPAN - 1),
+        st.integers(min_value=1, max_value=PAGES_PER_SUPERBLOCK),
+        st.just(0),
+    ),
+)
+
+common = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def replay(device, commands, use_pids, cut_at):
+    now = 0
+    log = []
+    for i, (op, lba, npages, ruh) in enumerate(commands):
+        if cut_at is not None and i == cut_at:
+            report = device.power_cut()
+            log.append(("cut", len(report.torn_writes)))
+            device.recover()
+        npages = min(npages, SPAN - lba)
+        try:
+            if op == "write":
+                pid = PlacementIdentifier(0, ruh) if use_pids else None
+                now = device.write(lba, npages, pid, now, ("t", i))
+                log.append(("w", now))
+            elif op == "trim":
+                log.append(("t", device.deallocate(lba, npages)))
+            else:
+                mapped, done = device.read(lba, npages, now)
+                now = done
+                log.append(("r", mapped, done))
+        except PowerLossError:  # pragma: no cover - fault-free devices
+            raise AssertionError("unexpected power loss")
+    return log
+
+
+def media_state(device):
+    ftl = device.ftl
+    return (
+        ftl._l2p,
+        ftl._p2l,
+        [
+            None if rec is None
+            else (rec.lba, rec.seq, rec.stream, rec.payload, rec.ok)
+            for rec in ftl._oob
+        ],
+        [
+            (sb.state, sb.write_ptr, sb.valid_pages, sb.erase_count)
+            for sb in ftl.superblocks
+        ],
+        ftl._journal.buffer,
+        ftl._journal.flushed,
+        device.snapshot(),
+        ftl.latency.busy_until,
+    )
+
+
+@given(
+    commands=st.lists(command, max_size=120),
+    use_pids=st.booleans(),
+    cut_at=st.none() | st.integers(min_value=0, max_value=119),
+)
+@common
+def test_batched_extents_match_per_page_path(commands, use_pids, cut_at):
+    fdp = use_pids
+    scalar = SimulatedSSD(GEOMETRY, fdp=fdp, io_path="scalar")
+    batched = SimulatedSSD(GEOMETRY, fdp=fdp, io_path="batched")
+    log_s = replay(scalar, commands, use_pids, cut_at)
+    log_b = replay(batched, commands, use_pids, cut_at)
+    assert log_s == log_b
+    assert media_state(scalar) == media_state(batched)
+    scalar.check_invariants()
+    batched.check_invariants()
