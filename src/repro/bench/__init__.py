@@ -2,20 +2,29 @@
 the scaled experiment builders every figure/table bench uses."""
 
 from .driver import CacheBench, ReplayConfig
-from .metrics import CrashSoakResult, IntervalPoint, LatencyReservoir, RunResult
+from .metrics import (
+    CrashSoakResult,
+    IntegritySoakResult,
+    IntervalPoint,
+    LatencyReservoir,
+    RunResult,
+)
 from .parallel import SweepPoint, point_seed, run_sweep, smoke_points
 from .plotting import ascii_chart, dlwa_timeline_chart
 from .runner import (
     CHAOS_SCALE,
     CRASH_SCALE,
     DEFAULT_SCALE,
+    INTEGRITY_SCALE,
     Scale,
     build_experiment,
     default_chaos_config,
+    default_integrity_latent,
     make_trace,
     run_chaos_soak,
     run_crash_soak,
     run_experiment,
+    run_integrity_soak,
 )
 
 __all__ = [
@@ -25,18 +34,22 @@ __all__ = [
     "LatencyReservoir",
     "RunResult",
     "CrashSoakResult",
+    "IntegritySoakResult",
     "ascii_chart",
     "dlwa_timeline_chart",
     "Scale",
     "DEFAULT_SCALE",
     "CHAOS_SCALE",
     "CRASH_SCALE",
+    "INTEGRITY_SCALE",
     "build_experiment",
     "make_trace",
     "run_experiment",
     "default_chaos_config",
     "run_chaos_soak",
     "run_crash_soak",
+    "default_integrity_latent",
+    "run_integrity_soak",
     "SweepPoint",
     "point_seed",
     "run_sweep",

@@ -1,0 +1,120 @@
+"""Integrity-soak CLI: detected vs. undetected corruption, both arms.
+
+``python -m repro.bench.integrity [--smoke]`` runs the latent-error
+soak twice with the same seed — patrol scrubber on, then off — and
+prints the detected/undetected corruption table the acceptance
+criteria are written against:
+
+* scrubber **on**: zero undetected corruptions (the final full patrol
+  pass CRC-verifies every page) and a nonzero scrub-relocation count
+  that shows up in the reported DLWA;
+* scrubber **off**: the scripted cold-half corruptions go unseen —
+  the undetected count is nonzero, demonstrating what the scrubber is
+  actually buying.
+
+Exit status is nonzero when either arm violates its acceptance bound,
+so CI can run this directly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .metrics import IntegritySoakResult
+from .runner import run_integrity_soak
+
+__all__ = ["main", "soak_arms"]
+
+
+def soak_arms(
+    *, span: int = 1024, phases: int = 6, commands_per_phase: int = 160
+) -> List[IntegritySoakResult]:
+    """Run the scrub-on and scrub-off arms with identical seeds."""
+    kwargs = dict(
+        span=span, phases=phases, commands_per_phase=commands_per_phase
+    )
+    return [
+        run_integrity_soak(scrub=True, **kwargs),
+        run_integrity_soak(scrub=False, **kwargs),
+    ]
+
+
+def _check(results: List[IntegritySoakResult]) -> List[str]:
+    """Acceptance bounds for the two arms; returns failure messages."""
+    on, off = results
+    failures: List[str] = []
+    if on.undetected_corruptions != 0:
+        failures.append(
+            f"scrub-on arm leaked {on.undetected_corruptions} undetected "
+            "corruption(s) — every page must be CRC-verified"
+        )
+    if on.scrub_pages_relocated == 0:
+        failures.append(
+            "scrub-on arm relocated no pages — refresh traffic missing"
+        )
+    if on.nand_pages_written != (
+        on.host_pages_written
+        + on.gc_pages_migrated
+        + on.scrub_pages_relocated
+    ):
+        failures.append("scrub-on arm: DLWA ledger out of balance")
+    if off.undetected_corruptions == 0:
+        failures.append(
+            "scrub-off arm shows zero undetected corruptions — the soak "
+            "no longer demonstrates the failure mode the scrubber fixes"
+        )
+    return failures
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI: ``python -m repro.bench.integrity [--smoke]``."""
+    import argparse
+    import time
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.integrity",
+        description=(
+            "Latent-error integrity soak: scrub-on vs. scrub-off arms "
+            "with shadow-map corruption reconciliation."
+        ),
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="reduced run for CI (fewer phases, smaller span)",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        kwargs = dict(span=512, phases=4, commands_per_phase=96)
+    else:
+        kwargs = dict(span=1024, phases=6, commands_per_phase=160)
+
+    start = time.perf_counter()
+    results = soak_arms(**kwargs)
+    elapsed = time.perf_counter() - start
+
+    header = (
+        f"{'arm':<10} {'injected':>8} {'detected':>8} {'undetected':>10} "
+        f"{'corrected':>9} {'relocated':>9} {'retired':>7} {'DLWA':>6}"
+    )
+    print(header)
+    print("-" * len(header))
+    for r in results:
+        arm = "scrub-on" if r.scrub_enabled else "scrub-off"
+        print(
+            f"{arm:<10} {r.corruptions_injected:>8} "
+            f"{r.detected_corruptions:>8} {r.undetected_corruptions:>10} "
+            f"{r.reads_corrected:>9} {r.scrub_pages_relocated:>9} "
+            f"{r.scrub_blocks_retired:>7} {r.dlwa:>6.2f}"
+        )
+    print(f"({elapsed:.1f}s)")
+
+    failures = _check(results)
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    if not failures:
+        print("integrity soak: acceptance bounds hold")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,6 +18,7 @@ __all__ = [
     "IntervalPoint",
     "RunResult",
     "CrashSoakResult",
+    "IntegritySoakResult",
 ]
 
 
@@ -186,6 +187,59 @@ class CrashSoakResult:
             f"pages={self.pages_written} torn={self.torn_pages_discarded} "
             f"recovered={self.mappings_recovered_total} "
             f"DLWA={self.final_dlwa:5.2f}"
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class IntegritySoakResult:
+    """Outcome of one :func:`~repro.bench.runner.run_integrity_soak` run.
+
+    The soak drives a device with the latent-error model enabled and
+    reconciles every logical page against a host-side shadow map at the
+    end.  Pages fall into three buckets: *intact* (device content
+    matches the shadow), *lost-detected* (the device knows the page is
+    gone — CRC verification poisoned it, or it reads back unmapped),
+    and *undetected* (the device serves content that differs from what
+    the host wrote — the silent-corruption failure mode the end-to-end
+    CRC + patrol scrub are there to eliminate).
+    """
+
+    ops: int
+    pages_written: int
+    pages_read: int
+    scrub_enabled: bool
+    # corruption accounting (shadow-map reconciliation)
+    corruptions_injected: int
+    detected_corruptions: int
+    undetected_corruptions: int
+    pages_intact: int
+    pages_lost_detected: int
+    # read-retry ladder counters
+    reads_corrected: int
+    soft_decode_retries: int
+    read_uecc_errors: int
+    # patrol scrub counters
+    scrub_passes: int
+    scrub_pages_scanned: int
+    scrub_pages_relocated: int
+    scrub_blocks_retired: int
+    # DLWA accounting (scrub relocations must show up here)
+    host_pages_written: int
+    gc_pages_migrated: int
+    nand_pages_written: int
+    dlwa: float
+
+    def summary_row(self) -> str:
+        """One printable row, chaos-bench style."""
+        return (
+            f"integrity-soak scrub={'on ' if self.scrub_enabled else 'off'} "
+            f"ops={self.ops} injected={self.corruptions_injected} "
+            f"detected={self.detected_corruptions} "
+            f"undetected={self.undetected_corruptions} "
+            f"corrected={self.reads_corrected} "
+            f"relocated={self.scrub_pages_relocated} "
+            f"retired={self.scrub_blocks_retired} "
+            f"DLWA={self.dlwa:5.2f}"
         )
 
 

@@ -19,27 +19,33 @@ from typing import Dict, List, Optional, Tuple
 
 from ..cache.config import CacheConfig
 from ..cache.hybrid import HybridCache
+from ..faults.latent import LatentErrorConfig
 from ..faults.model import FaultConfig, HealthLogPage
-from ..faults.plan import OP_POWER, ScriptedFault
+from ..faults.plan import OP_POWER, OP_SILENT, ScriptedFault
+from ..fdp.ruh import PlacementIdentifier
 from ..ssd.device import SimulatedSSD
-from ..ssd.errors import PowerLossError
+from ..ssd.errors import PowerLossError, UncorrectableReadError
 from ..ssd.geometry import Geometry
+from ..ssd.scrub import ScrubConfig
 from ..workloads.kvcache import kv_cache_trace, wo_kv_cache_trace
 from ..workloads.trace import Trace
 from ..workloads.twitter import twitter_cluster12_trace
 from .driver import CacheBench, ReplayConfig
-from .metrics import CrashSoakResult, RunResult
+from .metrics import CrashSoakResult, IntegritySoakResult, RunResult
 
 __all__ = [
     "Scale",
     "DEFAULT_SCALE",
     "CHAOS_SCALE",
     "CRASH_SCALE",
+    "INTEGRITY_SCALE",
     "build_experiment",
     "run_experiment",
     "default_chaos_config",
     "run_chaos_soak",
     "run_crash_soak",
+    "default_integrity_latent",
+    "run_integrity_soak",
 ]
 
 
@@ -547,4 +553,204 @@ def run_crash_soak(
         journal_entries_replayed_total=counters["journal_replayed"],
         final_mapped_pages=len(shadow),
         final_dlwa=device.dlwa,
+    )
+
+
+# The integrity soak uses a 24 MiB device: small enough that retention
+# ages (sequence-clock distances) reach the refresh threshold within a
+# short run, big enough that the cold fill spans several CLOSED
+# superblocks for the patrol to walk.
+INTEGRITY_SCALE = Scale(num_superblocks=48)
+
+
+def default_integrity_latent(
+    span: int, seed: int = 0x1A7E
+) -> LatentErrorConfig:
+    """The standard integrity-soak latent-error profile.
+
+    Rates are orders of magnitude above a healthy drive's so a short
+    run exercises the whole ladder: retention pushes cold pages over
+    the scrubber's refresh threshold, read disturb pushes hot
+    neighbours into the correctable/soft-retry bands, and silent
+    corruption lands a handful of bad programs.  Three scripted
+    :data:`~repro.faults.plan.OP_SILENT` entries target host page
+    programs in the *cold* half of the soak's LBA span (the fill phase
+    writes ``span`` pages in LBA order, so program index *i* is LBA
+    *i − 1*): the hot phases never re-read those pages, which is
+    exactly the corruption only a patrol scrub can catch.
+    """
+    if span < 16:
+        raise ValueError("span must be at least 16 LBAs")
+    return LatentErrorConfig(
+        seed=seed,
+        read_disturb_per_read=0.05,
+        retention_rate=5e-4,
+        wear_factor=0.05,
+        silent_corruption_rate=2e-3,
+        plan=tuple(
+            ScriptedFault(op=OP_SILENT, op_index=span // 2 + k * span // 8)
+            for k in (1, 2, 3)
+        ),
+        correctable_threshold=1.0,
+        soft_retry_threshold=2.5,
+        uecc_threshold=6.0,
+    )
+
+
+def run_integrity_soak(
+    *,
+    span: int = 1024,
+    phases: int = 6,
+    commands_per_phase: int = 160,
+    fdp: bool = True,
+    scale: Scale = INTEGRITY_SCALE,
+    seed: int = 0x5EED,
+    latent: Optional[LatentErrorConfig] = None,
+    scrub: bool = True,
+    scrub_config: Optional[ScrubConfig] = None,
+    verbose: bool = False,
+) -> IntegritySoakResult:
+    """Latent-error soak with shadow-map corruption reconciliation.
+
+    The soak first cold-fills ``span`` LBAs (extent writes, steered to
+    RUH 1 under FDP), then runs ``phases`` rounds of a 65/35
+    write/read mix over the *first half* of the span only (RUH 0) —
+    the second half goes cold, ages under retention, and is never
+    host-read again.  Every write carries a unique payload token
+    mirrored in a host-side shadow map.
+
+    With ``scrub`` enabled the patrol scrubber runs throughout (polled
+    on the device's own clock) plus one final synchronous full pass;
+    at the end every logical page is reconciled against the shadow:
+
+    * **intact** — device content matches the shadow;
+    * **lost-detected** — the device *knows* the page is gone (CRC
+      verification poisoned it; reads serve a miss);
+    * **undetected** — the device would serve content that differs
+      from what the host wrote.  With the scrubber on, the final full
+      pass CRC-verifies every page, so this count must be zero; the
+      same seed with ``scrub=False`` leaves the scripted cold-half
+      corruptions unseen and the count is nonzero.
+
+    Also asserts the DLWA ledger balances exactly:
+    ``nand = host + GC migrations + scrub relocations`` — scrub
+    refresh traffic is real write amplification and must be visible in
+    the reported DLWA.
+    """
+    if phases < 1:
+        raise ValueError("phases must be positive")
+    if span < 16 or span % 16:
+        raise ValueError("span must be a positive multiple of 16")
+    geometry = scale.geometry()
+    if span > geometry.logical_pages:
+        raise ValueError("span exceeds the device's logical capacity")
+    if latent is None:
+        latent = default_integrity_latent(span)
+    if scrub_config is None:
+        scrub_config = ScrubConfig(interval_ns=5_000_000)
+    device = SimulatedSSD(
+        geometry,
+        fdp=fdp,
+        latent=latent,
+        scrub=scrub_config if scrub else None,
+    )
+    pid_hot = PlacementIdentifier(0, 0) if fdp else None
+    pid_cold = PlacementIdentifier(0, 1) if fdp else None
+
+    rng = random.Random(seed)
+    shadow: Dict[int, object] = {}
+    ops = 0
+    pages_written = 0
+    pages_read = 0
+    token_counter = 0
+    now = 0
+
+    def write(lba: int, npages: int, pid) -> None:
+        nonlocal now, ops, pages_written, token_counter
+        token_counter += 1
+        token = ("integrity-soak", token_counter)
+        now = device.write(lba, npages, pid, now, payload=token)
+        for i in range(npages):
+            shadow[lba + i] = token
+        ops += 1
+        pages_written += npages
+
+    # Cold fill: the whole span, in extents, steered cold.
+    for lba in range(0, span, 8):
+        write(lba, 8, pid_cold)
+
+    # Hot phases over the first half only; the second half ages.
+    hot_span = span // 2
+    for phase in range(phases):
+        for _ in range(commands_per_phase):
+            npages = rng.randrange(1, 9)
+            lba = rng.randrange(0, hot_span - npages)
+            if rng.random() < 0.65:
+                write(lba, npages, pid_hot)
+            else:
+                ops += 1
+                pages_read += npages
+                try:
+                    _, now = device.read(lba, npages, now)
+                except UncorrectableReadError:
+                    # Detected at read time; the page is poisoned and
+                    # the shadow entry will reconcile as lost-detected.
+                    pass
+        if verbose:
+            print(
+                f"phase {phase}: corrected={device.stats.reads_corrected} "
+                f"crc_detected={device.stats.crc_detected_corruptions} "
+                f"relocated={device.stats.scrub_pages_relocated}"
+            )
+
+    if scrub:
+        device.run_scrub_pass(now)
+    device.check_invariants()
+
+    # Shadow-map reconciliation: classify every page in the span.
+    observed = device.read_payload(0, span)
+    intact = lost_detected = undetected = 0
+    for lba in range(span):
+        expect = shadow.get(lba)
+        got = observed[lba]
+        if got == expect:
+            intact += 1
+        elif got is None:
+            lost_detected += 1
+        else:
+            undetected += 1
+
+    # The DLWA ledger must balance exactly: every NAND page program is
+    # host traffic, a GC migration, or a scrub refresh.
+    s = device.stats
+    if s.nand_pages_written != (
+        s.host_pages_written + s.gc_pages_migrated + s.scrub_pages_relocated
+    ):
+        raise AssertionError(
+            f"DLWA ledger out of balance: nand={s.nand_pages_written} != "
+            f"host={s.host_pages_written} + gc={s.gc_pages_migrated} + "
+            f"scrub={s.scrub_pages_relocated}"
+        )
+
+    return IntegritySoakResult(
+        ops=ops,
+        pages_written=pages_written,
+        pages_read=pages_read,
+        scrub_enabled=scrub,
+        corruptions_injected=device.latent.corruptions_injected,
+        detected_corruptions=s.crc_detected_corruptions,
+        undetected_corruptions=undetected,
+        pages_intact=intact,
+        pages_lost_detected=lost_detected,
+        reads_corrected=s.reads_corrected,
+        soft_decode_retries=s.soft_decode_retries,
+        read_uecc_errors=s.read_uecc_errors,
+        scrub_passes=s.scrub_passes,
+        scrub_pages_scanned=s.scrub_pages_scanned,
+        scrub_pages_relocated=s.scrub_pages_relocated,
+        scrub_blocks_retired=s.scrub_blocks_retired,
+        host_pages_written=s.host_pages_written,
+        gc_pages_migrated=s.gc_pages_migrated,
+        nand_pages_written=s.nand_pages_written,
+        dlwa=device.dlwa,
     )

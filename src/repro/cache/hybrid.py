@@ -417,6 +417,25 @@ class HybridCache:
                     self.device.stats.superblocks_retired
                 ),
             },
+            "integrity": {
+                "reads_corrected": self.device.stats.reads_corrected,
+                "soft_decode_retries": (
+                    self.device.stats.soft_decode_retries
+                ),
+                "crc_detected_corruptions": (
+                    self.device.stats.crc_detected_corruptions
+                ),
+                "scrub_passes": self.device.stats.scrub_passes,
+                "scrub_pages_scanned": (
+                    self.device.stats.scrub_pages_scanned
+                ),
+                "scrub_pages_relocated": (
+                    self.device.stats.scrub_pages_relocated
+                ),
+                "scrub_blocks_retired": (
+                    self.device.stats.scrub_blocks_retired
+                ),
+            },
         }
 
     @property

@@ -306,12 +306,21 @@ class KangarooCache:
             done = now_ns
             if page != self._head:
                 try:
-                    _, done = self.device.read(
+                    mapped, done = self.device.read(
                         self._log_lba(page), 1, now_ns
                     )
                 except MediaError:
                     # Log page unreadable: every key staged on it is
                     # gone; fall through to the sets for this key.
+                    self.log_read_errors += 1
+                    self._drop_log_page(page)
+                    item, done = self.sets.lookup(key, now_ns)
+                    if item is not None:
+                        self.hits += 1
+                    return item, done
+                if not mapped:
+                    # CRC verification poisoned the log page — same
+                    # degradation as the UECC path above.
                     self.log_read_errors += 1
                     self._drop_log_page(page)
                     item, done = self.sets.lookup(key, now_ns)

@@ -296,7 +296,7 @@ class LargeObjectCache:
             return CacheItem(key, size), now_ns
         pages = max(1, -(-size // self.device.ssd.page_size))
         try:
-            _, done = self.device.read(
+            mapped, done = self.device.read(
                 self._region_lba(region_id), pages, now_ns
             )
         except MediaError:
@@ -305,6 +305,12 @@ class LargeObjectCache:
             self.read_errors += 1
             self.index.pop(key, None)
             return None, now_ns
+        if not mapped:
+            # CRC verification poisoned (unmapped) part of the region —
+            # treat exactly like the UECC path above.
+            self.read_errors += 1
+            self.index.pop(key, None)
+            return None, done
         self.flash_reads += pages
         self.hits += 1
         return CacheItem(key, size), done

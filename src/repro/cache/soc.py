@@ -325,7 +325,7 @@ class SmallObjectCache:
             self.bloom_rejects += 1
             return None, now_ns
         try:
-            _, done = self.device.read(self.base_lba + bucket, 1, now_ns)
+            mapped, done = self.device.read(self.base_lba + bucket, 1, now_ns)
         except MediaError:
             # UECC survived the device layer's read retries: the page is
             # gone.  Serve a miss and drop the bucket so its bloom stops
@@ -333,6 +333,13 @@ class SmallObjectCache:
             self.read_errors += 1
             self._drop_bucket(bucket)
             return None, now_ns
+        if not mapped:
+            # The page unmapped underneath us — an end-to-end CRC check
+            # (host read retry or patrol scrub) poisoned it.  Same
+            # degradation as a UECC: miss, and clean up the bloom.
+            self.read_errors += 1
+            self._drop_bucket(bucket)
+            return None, done
         self.flash_reads += 1
         nbytes = self._buckets[bucket].get(key)
         if nbytes is None:

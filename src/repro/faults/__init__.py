@@ -17,12 +17,21 @@ from .errors import (
     ProgramFailError,
     UncorrectableReadError,
 )
+from .latent import (
+    OUTCOME_CLEAN,
+    OUTCOME_CORRECTABLE,
+    OUTCOME_SOFT_RETRY,
+    OUTCOME_UECC,
+    LatentErrorConfig,
+    LatentErrorModel,
+)
 from .model import FaultConfig, FaultModel, HealthLogPage
 from .plan import (
     OP_ERASE,
     OP_POWER,
     OP_PROGRAM,
     OP_READ,
+    OP_SILENT,
     FaultPlan,
     ScriptedFault,
 )
@@ -31,12 +40,19 @@ __all__ = [
     "FaultConfig",
     "FaultModel",
     "HealthLogPage",
+    "LatentErrorConfig",
+    "LatentErrorModel",
+    "OUTCOME_CLEAN",
+    "OUTCOME_CORRECTABLE",
+    "OUTCOME_SOFT_RETRY",
+    "OUTCOME_UECC",
     "FaultPlan",
     "ScriptedFault",
     "OP_READ",
     "OP_PROGRAM",
     "OP_ERASE",
     "OP_POWER",
+    "OP_SILENT",
     "MediaError",
     "UncorrectableReadError",
     "ProgramFailError",

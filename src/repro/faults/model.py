@@ -125,6 +125,14 @@ class HealthLogPage:
     power_cuts: int = 0
     recoveries: int = 0
     torn_pages_discarded: int = 0
+    # End-to-end integrity counters (latent errors + patrol scrub).
+    reads_corrected: int = 0
+    soft_decode_retries: int = 0
+    crc_detected_corruptions: int = 0
+    scrub_passes: int = 0
+    scrub_pages_scanned: int = 0
+    scrub_pages_relocated: int = 0
+    scrub_blocks_retired: int = 0
 
     @property
     def healthy(self) -> bool:

@@ -23,6 +23,7 @@ __all__ = [
     "OP_PROGRAM",
     "OP_ERASE",
     "OP_POWER",
+    "OP_SILENT",
 ]
 
 OP_READ = "read"
@@ -31,8 +32,12 @@ OP_ERASE = "erase"
 # Power loss scripted against the host page-program counter: the cut
 # fires *during* the Nth host page program, tearing that command.
 OP_POWER = "power_loss"
+# Silent corruption scripted against the latent-error model's host
+# page-program counter: the Nth host page program stores corrupt data
+# under the original payload's CRC (see repro.faults.latent).
+OP_SILENT = "silent_corruption"
 
-_VALID_OPS = (OP_READ, OP_PROGRAM, OP_ERASE, OP_POWER)
+_VALID_OPS = (OP_READ, OP_PROGRAM, OP_ERASE, OP_POWER, OP_SILENT)
 
 
 @dataclasses.dataclass(frozen=True)

@@ -41,6 +41,13 @@ class FdpEventType(enum.Enum):
     # number of recovered mappings.
     POWER_LOSS = "power_loss"
     RECOVERY_COMPLETE = "recovery_complete"
+    # Patrol-scrub lifecycle: SCRUB marks one completed patrol pass
+    # over the CLOSED superblocks (``pages`` = pages verified during
+    # the pass); SCRUB_RELOCATION marks refresh relocations out of one
+    # superblock (``pages`` = pages rewritten, ``ruh_id``/
+    # ``reclaim_group`` the RUH-respecting destination stream).
+    SCRUB = "scrub"
+    SCRUB_RELOCATION = "scrub_relocation"
 
 
 @dataclasses.dataclass(frozen=True)

@@ -11,7 +11,12 @@ from .batch import OP_READ, OP_TRIM, OP_WRITE, BatchCommand, BatchOutcome
 from .device import SimulatedSSD
 from .energy import EnergyCosts, EnergyModel
 from .namespace import Namespace, NamespaceManager
-from .wear import WearStats, collect_wear_stats, select_wear_victim
+from .wear import (
+    WearStats,
+    collect_wear_stats,
+    retention_acceleration,
+    select_wear_victim,
+)
 from .zns import Zone, ZonedSSD, ZoneError, ZoneState, ZnsHostLog
 from .errors import (
     DeviceFullError,
@@ -35,7 +40,9 @@ from .recovery import (
     PowerCutReport,
     RecoveryReport,
     TornWrite,
+    payload_crc,
 )
+from .scrub import PatrolScrubber, ScrubConfig, ScrubStatus
 from .stats import DeviceStats, StatsSnapshot
 from .superblock import Superblock, SuperblockState
 
@@ -50,6 +57,7 @@ __all__ = [
     "NamespaceManager",
     "WearStats",
     "collect_wear_stats",
+    "retention_acceleration",
     "select_wear_victim",
     "ZonedSSD",
     "Zone",
@@ -85,4 +93,8 @@ __all__ = [
     "TornWrite",
     "PowerCutReport",
     "RecoveryReport",
+    "payload_crc",
+    "PatrolScrubber",
+    "ScrubConfig",
+    "ScrubStatus",
 ]

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
+from ..faults.latent import LatentErrorConfig, LatentErrorModel
 from ..faults.model import FaultConfig, FaultModel, HealthLogPage
 from ..fdp.config import FdpConfiguration, default_configuration
 from ..fdp.events import FdpEventLog
@@ -31,6 +32,7 @@ from .energy import EnergyCosts, EnergyModel
 from .ftl import Ftl
 from .geometry import Geometry
 from .latency import LatencyModel, NandTimings
+from .scrub import PatrolScrubber, ScrubConfig, ScrubStatus
 from .stats import DeviceStats, StatsSnapshot
 
 __all__ = ["SimulatedSSD"]
@@ -61,6 +63,21 @@ class SimulatedSSD:
         :meth:`get_health_log`, the FDP event log (``MEDIA_ERROR``
         entries), and the media-error exceptions documented in
         :mod:`repro.faults.errors`.
+    latent:
+        Latent-error modeling (read disturb, retention aging, silent
+        corruption) plus end-to-end CRC protection.  Pass a
+        :class:`~repro.faults.latent.LatentErrorConfig` for a fresh
+        seed-driven model per :meth:`format`, or a live
+        :class:`~repro.faults.latent.LatentErrorModel` to share/inspect
+        it.  ``None`` disables both the error model and CRC stamping.
+    scrub:
+        Background patrol scrubber.  ``True`` attaches one with
+        default policy, or pass a
+        :class:`~repro.ssd.scrub.ScrubConfig` /
+        :class:`~repro.ssd.scrub.PatrolScrubber`.  The scrubber walks
+        CLOSED superblocks on the simulated clock, verifies page CRCs,
+        refreshes pages whose latent error level exceeds the refresh
+        threshold, and retires repeatedly failing blocks.
     """
 
     def __init__(
@@ -78,6 +95,8 @@ class SimulatedSSD:
         journal_flush_interval: Optional[int] = None,
         power_seed: Optional[int] = None,
         io_path: str = "batched",
+        latent: "LatentErrorConfig | LatentErrorModel | None" = None,
+        scrub: "ScrubConfig | PatrolScrubber | bool | None" = None,
     ) -> None:
         self.geometry = geometry
         if fdp is True:
@@ -99,6 +118,8 @@ class SimulatedSSD:
         self._journal_flush_interval = journal_flush_interval
         self._power_seed = power_seed
         self.io_path = io_path
+        self._latent_spec = latent
+        self._scrub_spec = scrub
         self.ftl = self._new_ftl()
 
     def _new_fault_model(self) -> Optional[FaultModel]:
@@ -107,6 +128,23 @@ class SimulatedSSD:
         if isinstance(self._fault_spec, FaultModel):
             return self._fault_spec
         return FaultModel(self._fault_spec)
+
+    def _new_latent_model(self) -> Optional[LatentErrorModel]:
+        if self._latent_spec is None:
+            return None
+        if isinstance(self._latent_spec, LatentErrorModel):
+            return self._latent_spec
+        return LatentErrorModel(self._latent_spec)
+
+    def _new_scrubber(self) -> Optional[PatrolScrubber]:
+        spec = self._scrub_spec
+        if spec is None or spec is False:
+            return None
+        if spec is True:
+            return PatrolScrubber()
+        if isinstance(spec, PatrolScrubber):
+            return spec
+        return PatrolScrubber(spec)
 
     def _new_ftl(self) -> Ftl:
         extra = {}
@@ -128,6 +166,8 @@ class SimulatedSSD:
             wear_level_threshold=self._wear_level_threshold,
             faults=self._new_fault_model(),
             io_path=self.io_path,
+            latent=self._new_latent_model(),
+            scrub=self._new_scrubber(),
             **extra,
         )
 
@@ -329,6 +369,47 @@ class SimulatedSSD:
         """The live fault injector, or ``None`` on a reliable device."""
         return self.ftl.faults
 
+    @property
+    def latent(self) -> Optional[LatentErrorModel]:
+        """The live latent-error model, or ``None`` when disabled."""
+        return self.ftl.latent
+
+    @property
+    def scrubber(self) -> Optional[PatrolScrubber]:
+        """The attached patrol scrubber, or ``None`` when disabled."""
+        return self.ftl.scrubber
+
+    @property
+    def effective_io_path(self) -> str:
+        """The I/O path actually in use (see ``Ftl.effective_io_path``).
+
+        Requesting ``io_path="batched"`` with fault injection or a
+        corrupting latent model attached resolves to ``"scalar"`` at
+        construction time — per-page fault hooks cannot run under the
+        extent fast path.  Inspect this to confirm which path a device
+        really runs rather than trusting the requested knob.
+        """
+        return self.ftl.effective_io_path
+
+    def scrub_status(self) -> Optional[ScrubStatus]:
+        """Patrol-scrub progress snapshot, or ``None`` when no scrubber
+        is attached (the ``nvme scrub-status`` surface)."""
+        if self.ftl.scrubber is None:
+            return None
+        return self.ftl.scrubber.status()
+
+    def run_scrub_pass(
+        self, now_ns: Optional[int] = None, *, verify_open: bool = True
+    ) -> ScrubStatus:
+        """Run one complete patrol pass over the device synchronously.
+
+        Scans every CLOSED superblock (and, with ``verify_open``, the
+        written prefix of OPEN write points, verify-only), charging
+        scan/relocation latency on the busy clock.  Raises
+        :class:`ValueError` when no scrubber is attached.
+        """
+        return self.ftl.run_scrub_pass(now_ns, verify_open=verify_open)
+
     def get_health_log(
         self, rated_pe_cycles: Optional[int] = None
     ) -> HealthLogPage:
@@ -370,6 +451,13 @@ class SimulatedSSD:
             power_cuts=s.power_cuts,
             recoveries=s.recoveries,
             torn_pages_discarded=s.torn_pages_discarded,
+            reads_corrected=s.reads_corrected,
+            soft_decode_retries=s.soft_decode_retries,
+            crc_detected_corruptions=s.crc_detected_corruptions,
+            scrub_passes=s.scrub_passes,
+            scrub_pages_scanned=s.scrub_pages_scanned,
+            scrub_pages_relocated=s.scrub_pages_relocated,
+            scrub_blocks_retired=s.scrub_blocks_retired,
         )
 
     def energy_kwh(self, elapsed_ns: Optional[int] = None) -> float:

@@ -35,6 +35,12 @@ from typing import TYPE_CHECKING
 from ..fdp.config import FdpConfiguration
 from ..fdp.events import FdpEvent, FdpEventLog, FdpEventType
 from ..fdp.ruh import PlacementIdentifier, RuhType
+from ..faults.latent import (
+    OUTCOME_CLEAN,
+    OUTCOME_CORRECTABLE,
+    OUTCOME_SOFT_RETRY,
+    LatentErrorModel,
+)
 from .energy import EnergyModel
 from .errors import (
     DeviceFullError,
@@ -57,11 +63,18 @@ from .recovery import (
     PowerCutReport,
     RecoveryReport,
     TornWrite,
+    payload_crc,
     rebuild_ftl_state,
 )
+from .scrub import PatrolScrubber, ScrubConfig
 from .stats import DeviceStats
 from .superblock import Superblock, SuperblockState
-from .wear import WearStats, collect_wear_stats, select_wear_victim
+from .wear import (
+    WearStats,
+    collect_wear_stats,
+    retention_acceleration,
+    select_wear_victim,
+)
 
 if TYPE_CHECKING:  # avoid an import cycle at runtime; duck-typed use only
     from ..faults.model import FaultModel
@@ -141,9 +154,30 @@ class Ftl:
         paths are bit-identical — same L2P, stats, events, latency,
         energy, and recovery trail — which the differential harness in
         ``tests/test_differential_batch.py`` enforces (DESIGN.md §10).
-        With fault injection attached, multi-page writes always take
-        the scalar loop so per-page fault-plan interleave points (the
-        Nth program) keep their exact meaning.
+
+        **Fault interaction (decided at construction, never silently
+        mid-run):** with a :class:`FaultModel` attached, or a latent-
+        error model that can corrupt programs (``corrupts_writes``),
+        multi-page writes always take the scalar loop so per-page
+        fault and corruption interleave points (the Nth host program)
+        keep their exact meaning.  Requesting ``io_path="batched"``
+        in those configurations is *not* an error — the chaos benches
+        do it deliberately — but the resolved path is exposed as
+        :attr:`effective_io_path` and pinned by a regression test, so
+        a ctor knob can never quietly disable injection.  A quiescent
+        latent model (zero corruption rate, empty plan) keeps the
+        fast path: read-side disturb tracking and CRC stamping do not
+        need per-page write hooks.
+    latent:
+        Optional latent-error model (or its config): read-disturb
+        accumulation, wear-accelerated retention aging, and silent
+        corruption, feeding the ECC outcome ladder on reads.  Implies
+        end-to-end CRC stamping of every programmed page.
+    scrub:
+        Optional background patrol scrubber (or its config): walks
+        CLOSED superblocks on the device's busy clock, verifies page
+        CRCs, relocates pages past the refresh threshold, and retires
+        repeatedly failing blocks.  Also implies CRC stamping.
     """
 
     def __init__(
@@ -164,6 +198,8 @@ class Ftl:
         journal_flush_interval: int = JOURNAL_FLUSH_INTERVAL,
         power_seed: int = 0x9C7A,
         io_path: str = "batched",
+        latent: "Optional[object]" = None,
+        scrub: "Optional[object]" = None,
     ) -> None:
         self.geometry = geometry
         self.fdp_config = fdp_config
@@ -173,6 +209,27 @@ class Ftl:
                 f"io_path must be 'batched' or 'scalar', got {io_path!r}"
             )
         self.io_path = io_path
+        # Latent-error model: accept a config or a live model.
+        if latent is not None and not isinstance(latent, LatentErrorModel):
+            latent = LatentErrorModel(latent)
+        self.latent: Optional[LatentErrorModel] = latent
+        # Patrol scrubber: accept a config or a live scrubber.
+        if scrub is not None and not isinstance(scrub, PatrolScrubber):
+            scrub = PatrolScrubber(scrub)
+        self.scrubber: Optional[PatrolScrubber] = scrub
+        # End-to-end protection info (OOB CRC32) is stamped whenever
+        # something downstream will verify it; otherwise pages carry
+        # crc=None and the fault-free path stays bit-identical to a
+        # build without the integrity subsystem.
+        self._protect = latent is not None or scrub is not None
+        # Resolved once here — the write path must never silently flip
+        # between the batched extent programmer (no per-page hooks)
+        # and the scalar loop (per-page fault / corruption draws).
+        self._fast_path = (
+            io_path == "batched"
+            and faults is None
+            and (latent is None or not latent.corrupts_writes)
+        )
         self.latency = latency if latency is not None else LatencyModel()
         self.energy = energy if energy is not None else EnergyModel()
         self.events = events if events is not None else FdpEventLog()
@@ -215,6 +272,8 @@ class Ftl:
         self._write_points: Dict[StreamKey, Superblock] = {}
         # Host pages written per stream key, for per-handle accounting.
         self.stream_host_pages: Dict[StreamKey, int] = {}
+        if self.latent is not None:
+            self.latent.bind(geometry.total_pages, pps)
 
         # --- crash-consistency state (see repro.ssd.recovery) --------
         if checkpoint_interval_pages < 1:
@@ -254,6 +313,19 @@ class Ftl:
     @property
     def fdp_enabled(self) -> bool:
         return self.fdp_config is not None
+
+    @property
+    def effective_io_path(self) -> str:
+        """The write path multi-page commands actually take.
+
+        ``io_path`` records what the caller asked for; this property
+        reports what the device resolved it to at construction —
+        ``"scalar"`` whenever a fault model or a write-corrupting
+        latent-error model needs per-page hooks.  Pinned by the
+        regression tests so integrity faults can never be disabled by
+        a ctor knob.
+        """
+        return "batched" if self._fast_path else "scalar"
 
     def _host_stream(self, pid: Optional[PlacementIdentifier]) -> StreamKey:
         """Resolve the write-point key for a host write."""
@@ -363,6 +435,7 @@ class Ftl:
         lba: int,
         now_ns: int,
         payload: object = None,
+        crc: Optional[int] = None,
     ) -> int:
         """Program one page for ``lba`` through ``stream``'s write point.
 
@@ -372,7 +445,11 @@ class Ftl:
         Every program — host or GC — deposits an OOB record (LBA,
         global sequence number, stream, payload) in the page's spare
         area and appends a journal entry; this is the persistent trail
-        power-on recovery rebuilds the mapping from.
+        power-on recovery rebuilds the mapping from.  With end-to-end
+        protection enabled the record also carries CRC32 protection
+        info: freshly computed for host data (``crc=None``), or passed
+        through unchanged for GC / scrub relocations so corruption
+        that predates the move stays detectable at the new location.
 
         With fault injection enabled, a failed program consumes its
         page — real controllers mark it bad and move on — and retries
@@ -410,7 +487,9 @@ class Ftl:
             self._p2l[ppn] = lba
             self._l2p[lba] = ppn
             self._seq += 1
-            self._oob[ppn] = OobRecord(lba, self._seq, stream, payload)
+            if crc is None and self._protect:
+                crc = payload_crc(payload)
+            self._oob[ppn] = OobRecord(lba, self._seq, stream, payload, True, crc)
             self._journal.append(self._seq, lba, ppn)
             if sb.write_ptr == self._pps:
                 self._close_write_point(stream, now_ns)
@@ -508,6 +587,7 @@ class Ftl:
                     lba,
                     now_ns,
                     old_rec.payload if old_rec is not None else None,
+                    old_rec.crc if old_rec is not None else None,
                 )
                 victim.valid_pages -= 1
                 migrated += 1
@@ -545,6 +625,10 @@ class Ftl:
         # for every reclaimed superblock, so it is hot at high DLWA.)
         self._p2l[base : base + self._pps] = self._erased_p2l
         self._oob[base : base + self._pps] = self._erased_oob
+        # Erasing (or retiring) the block also clears its accumulated
+        # read-disturb history — fresh cells start clean.
+        if self.latent is not None:
+            self.latent.on_erase(base, self._pps)
         # The victim leaves CLOSED on either branch below.
         del self._closed[bisect_left(self._closed, victim.index)]
         if self.faults is not None and self.faults.fail_erase(
@@ -644,6 +728,130 @@ class Ftl:
                 ppn=ppn,
             )
 
+    def _poison_page(self, lba: int, ppn: int, now_ns: int) -> None:
+        """Quarantine a page whose protection info failed verification.
+
+        Detected corruption: the controller marks the page's OOB
+        integrity bit bad and drops the mapping, exactly as NVMe PI
+        turns a guard-tag mismatch into an unrecovered read.  No
+        journal entry is needed — recovery's OOB validation step drops
+        ``ok=False`` pages on its own — and subsequent reads see the
+        LBA unmapped, which the cache layer degrades like any media
+        error.
+        """
+        rec = self._oob[ppn]
+        if rec is not None:
+            rec.ok = False
+        if self._l2p[lba] == ppn:
+            self._l2p[lba] = -1
+            self._p2l[ppn] = -1
+            self.superblocks[ppn // self._pps].valid_pages -= 1
+        self.stats.crc_detected_corruptions += 1
+        self.events.record(
+            FdpEvent(
+                FdpEventType.MEDIA_ERROR,
+                timestamp_ns=now_ns,
+                pages=1,
+                superblock=ppn // self._pps,
+            )
+        )
+
+    def _latent_read_checks(
+        self, lba: int, npages: int, now_ns: int, done_ns: int
+    ) -> int:
+        """End-to-end verification + ECC outcome ladder for host reads.
+
+        Runs after PR 1's hard-fault injection so fault-free devices
+        stay bit-identical.  Per mapped page:
+
+        1. Verify the OOB CRC against the stored payload.  A mismatch
+           is *detected* silent corruption: the page is poisoned (see
+           :meth:`_poison_page`) and the read completes with UECC —
+           the device-layer retry then observes the LBA unmapped.
+        2. Record read disturb on the page's wordline neighbours.
+        3. Classify the page's raw bit-error level (disturb + wear-
+           accelerated retention) on the ladder: clean; correctable
+           (SMART counter + latency penalty); soft-decode retry
+           (bounded re-reads charged); uncorrectable (UECC raised to
+           the retry path).
+
+        Returns the command's completion time, pushed out by any
+        correction penalties.
+        """
+        if not self._protect:
+            return done_ns
+        lat = self.latent
+        l2p = self._l2p
+        oob = self._oob
+        pps = self._pps
+        for cur in range(lba, lba + npages):
+            ppn = l2p[cur]
+            if ppn < 0:
+                continue
+            rec = oob[ppn]
+            if (
+                rec is not None
+                and rec.crc is not None
+                and payload_crc(rec.payload) != rec.crc
+            ):
+                self._poison_page(cur, ppn, now_ns)
+                raise UncorrectableReadError(
+                    f"end-to-end CRC mismatch at LBA {cur} (ppn {ppn}, "
+                    f"superblock {ppn // pps}): silent corruption detected",
+                    lba=cur,
+                    ppn=ppn,
+                )
+            if lat is None:
+                continue
+            lat.note_read(ppn)
+            level = 0.0
+            if rec is not None:
+                sb = self.superblocks[ppn // pps]
+                level = lat.error_level(
+                    ppn,
+                    self._seq - rec.seq,
+                    retention_acceleration(
+                        sb.erase_count, lat.config.wear_factor
+                    ),
+                )
+            outcome = lat.classify(level)
+            if outcome == OUTCOME_CLEAN:
+                continue
+            if outcome == OUTCOME_CORRECTABLE:
+                self.stats.reads_corrected += 1
+                done_ns = self.latency.stall(
+                    done_ns, lat.config.correctable_penalty_ns
+                )
+                continue
+            if outcome == OUTCOME_SOFT_RETRY:
+                retries = lat.soft_retries_for(level)
+                self.stats.reads_corrected += 1
+                self.stats.soft_decode_retries += retries
+                self.energy.add_reads(retries)
+                done_ns = self.latency.stall(
+                    done_ns, retries * self.latency.timings.read_ns
+                )
+                continue
+            # OUTCOME_UECC: the raw bit-error level exceeds what even
+            # soft decode can recover.  Same surface as PR 1's UECC.
+            self.stats.read_uecc_errors += 1
+            self.events.record(
+                FdpEvent(
+                    FdpEventType.MEDIA_ERROR,
+                    timestamp_ns=now_ns,
+                    pages=1,
+                    superblock=ppn // pps,
+                )
+            )
+            raise UncorrectableReadError(
+                f"uncorrectable read error at LBA {cur} (ppn {ppn}, "
+                f"superblock {ppn // pps}): raw bit-error level "
+                f"{level:.2f} exceeds soft-decode capability",
+                lba=cur,
+                ppn=ppn,
+            )
+        return done_ns
+
     def _check_online(self) -> None:
         if self._offline:
             raise DeviceOfflineError(
@@ -683,11 +891,19 @@ class Ftl:
                 lba=lba,
                 now_ns=now_ns,
             )
+        crc: Optional[int] = None
+        if self._protect:
+            # Protection info covers the *host's* data.  A silent
+            # corruption stores mutated media content under the
+            # original CRC — undetectable until some layer verifies.
+            crc = payload_crc(payload)
+            if self.latent is not None and self.latent.corrupt_program(lba):
+                payload = self.latent.corrupted(payload)
         old = self._l2p[lba]
         if old >= 0:
             self.superblocks[old // self._pps].valid_pages -= 1
             self._l2p[lba] = -1
-        ppn = self._program_into(stream, lba, now_ns, payload)
+        ppn = self._program_into(stream, lba, now_ns, payload, crc)
         if ppns is not None:
             ppns.append(ppn)
         self.stats.host_pages_written += 1
@@ -740,6 +956,10 @@ class Ftl:
         write_points = self._write_points
         journal_run = self._journal.append_run
         stats = self.stats
+        # One CRC per command: every page of the extent stores the same
+        # payload object, so this matches the scalar loop's per-page
+        # payload_crc() bit for bit.
+        crc = payload_crc(payload) if self._protect else None
         cur = lba
         end = lba + npages
         while cur < end:
@@ -771,7 +991,7 @@ class Ftl:
             p2l[base : base + chunk] = array("i", range(cur, cur + chunk))
             seq = self._seq
             oob[base : base + chunk] = [
-                OobRecord(lb, sq, stream, payload)
+                OobRecord(lb, sq, stream, payload, True, crc)
                 for lb, sq in zip(
                     range(cur, cur + chunk),
                     range(seq + 1, seq + chunk + 1),
@@ -834,10 +1054,12 @@ class Ftl:
         self._check_online()
         self._check_lba(lba)
         self._check_lba(lba + npages - 1)
+        if self.scrubber is not None:
+            self.scrubber.maybe_step(self, now_ns)
         stream = self._host_stream(pid)
         ppns: List[int] = []
         try:
-            if self.io_path == "batched" and self.faults is None:
+            if self._fast_path:
                 self._write_extent_fast(
                     lba, npages, stream, now_ns, payload, ppns
                 )
@@ -866,10 +1088,13 @@ class Ftl:
         """
         self._check_online()
         self._check_lba(lba)
+        if self.scrubber is not None:
+            self.scrubber.maybe_step(self, now_ns)
         self.stats.host_pages_read += 1
         self.energy.add_reads(1)
         done = self._inject_host_spike(self.latency.host_read(now_ns, 1))
         self._inject_read_faults(lba, 1, now_ns)
+        done = self._latent_read_checks(lba, 1, now_ns, done)
         return self._l2p[lba] >= 0, done
 
     def read_range(
@@ -884,6 +1109,8 @@ class Ftl:
         self._check_online()
         self._check_lba(lba)
         self._check_lba(lba + npages - 1)
+        if self.scrubber is not None:
+            self.scrubber.maybe_step(self, now_ns)
         self.stats.host_pages_read += npages
         self.energy.add_reads(npages)
         # The L2P map is a flat array("i"), so the mapped-range check is
@@ -891,6 +1118,7 @@ class Ftl:
         all_mapped = min(self._l2p[lba : lba + npages]) >= 0
         done = self._inject_host_spike(self.latency.host_read(now_ns, npages))
         self._inject_read_faults(lba, npages, now_ns)
+        done = self._latent_read_checks(lba, npages, now_ns, done)
         return all_mapped, done
 
     def deallocate(self, lba: int, npages: int = 1) -> int:
@@ -906,6 +1134,8 @@ class Ftl:
         self._check_online()
         self._check_lba(lba)
         self._check_lba(lba + npages - 1)
+        if self.scrubber is not None:
+            self.scrubber.maybe_step(self, self.latency.busy_until)
         # Wholly unmapped ranges (common for region TRIMs after a GC-
         # style eviction) are detected with one array-slice max — no
         # mapping changes, no journal traffic, no write barrier.
@@ -1085,6 +1315,23 @@ class Ftl:
         )
         self._take_checkpoint()
         return report
+
+    def run_scrub_pass(
+        self, now_ns: Optional[int] = None, *, verify_open: bool = True
+    ):
+        """Run one full patrol pass synchronously (see ``scrub.py``).
+
+        Walks every CLOSED superblock (and, with ``verify_open``, the
+        programmed prefix of OPEN ones, verify-only), verifying CRCs
+        and relocating pages past the refresh threshold.  Returns the
+        scrubber's :class:`~repro.ssd.scrub.ScrubStatus`.
+        """
+        if self.scrubber is None:
+            raise ValueError("no patrol scrubber attached to this device")
+        self._check_online()
+        if now_ns is None:
+            now_ns = self.latency.busy_until
+        return self.scrubber.run_full_pass(self, now_ns, verify_open=verify_open)
 
     def is_mapped(self, lba: int) -> bool:
         """Whether an LBA currently holds data (no I/O charged)."""

@@ -113,7 +113,30 @@ class LatencyModel:
             return max(now_ns, self.busy_until)
         return self._service(now_ns, duration_ns)
 
-    # -- background operations (GC) ----------------------------------
+    # -- background operations (GC / patrol scrub) -------------------
+
+    def scrub_scan(self, now_ns: int, npages: int) -> int:
+        """Patrol-read ``npages`` for CRC verification.
+
+        Scrub reads stay inside the controller — no host transfer — so
+        they cost striped raw NAND read time only.
+        """
+        if npages == 0:
+            return max(now_ns, self.busy_until)
+        dur = self._striped(npages, self.timings.read_ns)
+        return self._service(now_ns, dur)
+
+    def scrub_relocate(self, now_ns: int, npages: int) -> int:
+        """Program ``npages`` of refresh relocations.
+
+        The scan already charged the read half, so a relocation costs
+        only the striped program time (unlike :meth:`gc_migrate`,
+        which bundles read + program).
+        """
+        if npages == 0:
+            return max(now_ns, self.busy_until)
+        dur = self._striped(npages, self.timings.program_ns)
+        return self._service(now_ns, dur)
 
     def gc_migrate(self, now_ns: int, npages: int) -> int:
         """Read + program ``npages`` of valid data during GC."""

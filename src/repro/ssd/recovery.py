@@ -37,10 +37,12 @@ Durability model (documented in DESIGN.md §9):
 from __future__ import annotations
 
 import dataclasses
+import zlib
 from array import array
 from typing import List, Optional, Tuple
 
 __all__ = [
+    "payload_crc",
     "OobRecord",
     "MappingJournal",
     "L2pCheckpoint",
@@ -61,6 +63,20 @@ JOURNAL_FLUSH_INTERVAL = 256
 CHECKPOINTS_KEPT = 2
 
 
+def payload_crc(payload: object) -> int:
+    """CRC32 protection info over a page payload.
+
+    Payloads are opaque host objects (tuples, strings, ints), so the
+    CRC is computed over a canonical text rendering rather than raw
+    bytes — deterministic across runs and processes for the plain-data
+    payloads the cache engines and benches store.  This models the
+    NVMe protection-information guard tag: a mismatch between the
+    stored CRC and the stored payload means the media silently
+    corrupted the page after the host's write was acknowledged.
+    """
+    return zlib.crc32(repr(payload).encode("utf-8", "backslashreplace"))
+
+
 class OobRecord:
     """Spare-area metadata programmed alongside one page.
 
@@ -73,10 +89,16 @@ class OobRecord:
     the page's content (cache engines store seal markers and bucket
     images here); GC migration carries it to the new location.  ``ok``
     is the OOB integrity bit: ``False`` marks a torn or failed program
-    whose data must be discarded at recovery.
+    whose data must be discarded at recovery.  ``crc`` is the optional
+    CRC32 protection info over ``payload`` (see :func:`payload_crc`),
+    stamped when a latent-error model or patrol scrubber is attached
+    and carried unchanged through GC and scrub relocations so silent
+    corruption stays detectable wherever the page migrates; ``None``
+    on devices without end-to-end protection (zero overhead, and old
+    pickled images stay loadable).
     """
 
-    __slots__ = ("lba", "seq", "stream", "payload", "ok")
+    __slots__ = ("lba", "seq", "stream", "payload", "ok", "crc")
 
     def __init__(
         self,
@@ -85,18 +107,23 @@ class OobRecord:
         stream: object,
         payload: object = None,
         ok: bool = True,
+        crc: Optional[int] = None,
     ) -> None:
         self.lba = lba
         self.seq = seq
         self.stream = stream
         self.payload = payload
         self.ok = ok
+        self.crc = crc
 
     def __getstate__(self):
-        return (self.lba, self.seq, self.stream, self.payload, self.ok)
+        return (self.lba, self.seq, self.stream, self.payload, self.ok, self.crc)
 
     def __setstate__(self, state) -> None:
-        self.lba, self.seq, self.stream, self.payload, self.ok = state
+        # Length-tolerant: PR 2 images pickled 5-tuples (no CRC field).
+        if len(state) == 5:
+            state = state + (None,)
+        self.lba, self.seq, self.stream, self.payload, self.ok, self.crc = state
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         flag = "" if self.ok else " TORN"

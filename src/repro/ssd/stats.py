@@ -40,6 +40,15 @@ class StatsSnapshot:
     power_cuts: int = 0
     recoveries: int = 0
     torn_pages_discarded: int = 0
+    # End-to-end integrity counters (zero unless a latent-error model
+    # or patrol scrubber is attached).
+    reads_corrected: int = 0
+    soft_decode_retries: int = 0
+    crc_detected_corruptions: int = 0
+    scrub_passes: int = 0
+    scrub_pages_scanned: int = 0
+    scrub_pages_relocated: int = 0
+    scrub_blocks_retired: int = 0
 
     @property
     def media_errors(self) -> int:
@@ -82,6 +91,13 @@ class DeviceStats:
         "power_cuts",
         "recoveries",
         "torn_pages_discarded",
+        "reads_corrected",
+        "soft_decode_retries",
+        "crc_detected_corruptions",
+        "scrub_passes",
+        "scrub_pages_scanned",
+        "scrub_pages_relocated",
+        "scrub_blocks_retired",
     )
 
     def __init__(self) -> None:
@@ -105,6 +121,13 @@ class DeviceStats:
         self.power_cuts = 0
         self.recoveries = 0
         self.torn_pages_discarded = 0
+        self.reads_corrected = 0
+        self.soft_decode_retries = 0
+        self.crc_detected_corruptions = 0
+        self.scrub_passes = 0
+        self.scrub_pages_scanned = 0
+        self.scrub_pages_relocated = 0
+        self.scrub_blocks_retired = 0
 
     @property
     def media_errors(self) -> int:
@@ -137,4 +160,11 @@ class DeviceStats:
             power_cuts=self.power_cuts,
             recoveries=self.recoveries,
             torn_pages_discarded=self.torn_pages_discarded,
+            reads_corrected=self.reads_corrected,
+            soft_decode_retries=self.soft_decode_retries,
+            crc_detected_corruptions=self.crc_detected_corruptions,
+            scrub_passes=self.scrub_passes,
+            scrub_pages_scanned=self.scrub_pages_scanned,
+            scrub_pages_relocated=self.scrub_pages_relocated,
+            scrub_blocks_retired=self.scrub_blocks_retired,
         )

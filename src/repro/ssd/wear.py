@@ -25,7 +25,28 @@ from typing import List, Optional, Sequence
 
 from .superblock import Superblock, SuperblockState
 
-__all__ = ["WearStats", "collect_wear_stats", "select_wear_victim"]
+__all__ = [
+    "WearStats",
+    "collect_wear_stats",
+    "select_wear_victim",
+    "retention_acceleration",
+]
+
+
+def retention_acceleration(erase_count: int, wear_factor: float) -> float:
+    """Wear multiplier applied to a block's retention error rate.
+
+    Charge leaks faster from heavily cycled cells: the latent-error
+    model scales a page's retention term by ``1 + wear_factor * PE``
+    where ``PE`` is the containing block's erase count.  A pure
+    function of already-tracked wear state, so the read path and the
+    patrol scrubber can evaluate it without extra bookkeeping.
+    """
+    if erase_count < 0:
+        raise ValueError("erase_count must be >= 0")
+    if wear_factor < 0.0:
+        raise ValueError("wear_factor must be >= 0")
+    return 1.0 + wear_factor * erase_count
 
 
 @dataclasses.dataclass(frozen=True)

@@ -10,6 +10,7 @@ workflow over a pickled :class:`~repro.ssd.device.SimulatedSSD`:
     python -m repro.tools.nvme fdp-stats dev.pkl
     python -m repro.tools.nvme fdp-events dev.pkl --last 10
     python -m repro.tools.nvme smart dev.pkl
+    python -m repro.tools.nvme scrub-status dev.pkl
     python -m repro.tools.nvme format dev.pkl
 
 Device state persists across invocations in the pickle file, so other
@@ -25,6 +26,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+from ..faults.latent import LatentErrorConfig
 from ..ssd.device import SimulatedSSD
 from ..ssd.geometry import Geometry
 
@@ -56,13 +58,26 @@ def _cmd_create(args: argparse.Namespace) -> int:
         op_fraction=args.op,
         rated_pe_cycles=args.rated_pe_cycles,
     )
-    device = SimulatedSSD(geometry, fdp=args.fdp)
+    latent = None
+    if args.latent:
+        latent = LatentErrorConfig(
+            read_disturb_per_read=0.02,
+            retention_rate=2e-4,
+            wear_factor=0.05,
+        )
+    device = SimulatedSSD(
+        geometry, fdp=args.fdp, latent=latent, scrub=args.scrub
+    )
     save_device(device, args.device)
+    extras = [flag for flag, on in (
+        ("latent errors", args.latent), ("patrol scrub", args.scrub)
+    ) if on]
     print(
         f"created {'FDP' if args.fdp else 'conventional'} device at "
         f"{args.device}: {geometry.physical_bytes >> 20} MiB physical, "
         f"{geometry.logical_bytes >> 20} MiB logical, "
         f"{geometry.num_superblocks} reclaim units"
+        + (f" ({', '.join(extras)})" if extras else "")
     )
     return 0
 
@@ -133,7 +148,40 @@ def _cmd_smart(args: argparse.Namespace) -> int:
     print(f"power cuts          : {health.power_cuts}")
     print(f"recoveries          : {health.recoveries}")
     print(f"torn pages discarded: {health.torn_pages_discarded}")
+    print(f"reads corrected     : {health.reads_corrected}")
+    print(f"soft decode retries : {health.soft_decode_retries}")
+    print(f"read UECC errors    : {health.read_uecc_errors}")
+    print(f"crc corrupt detected: {health.crc_detected_corruptions}")
+    print(f"scrub passes        : {health.scrub_passes}")
+    print(f"scrub pages scanned : {health.scrub_pages_scanned}")
+    print(f"scrub pages relocated: {health.scrub_pages_relocated}")
+    print(f"scrub blocks retired: {health.scrub_blocks_retired}")
     print(f"powered off         : {device.powered_off}")
+    return 0
+
+
+def _cmd_scrub_status(args: argparse.Namespace) -> int:
+    device = load_device(args.device)
+    status = device.scrub_status()
+    if status is None:
+        print("patrol scrub        : disabled")
+        return 0
+    print("patrol scrub        : enabled")
+    print(f"scan interval       : {status.interval_ns} ns")
+    print(f"refresh threshold   : {status.refresh_threshold}")
+    print(f"next scan due       : {status.next_due_ns} ns")
+    print(f"patrol cursor       : superblock {status.cursor}")
+    print(f"passes completed    : {status.passes_completed}")
+    print(f"pages scanned       : {status.pages_scanned}")
+    print(f"pages relocated     : {status.pages_relocated}")
+    print(f"corrupt detected    : {status.corrupt_detected}")
+    print(f"blocks retired      : {status.blocks_retired}")
+    print(f"relocations deferred: {status.relocations_deferred}")
+    if status.relocated_by_ruh:
+        print("relocated pages by placement:")
+        for (rg, ruh), pages in status.relocated_by_ruh:
+            ruh_label = "none" if ruh is None else str(ruh)
+            print(f"  rg={rg} ruh={ruh_label:<4}: {pages} pages")
     return 0
 
 
@@ -190,12 +238,21 @@ def build_parser() -> argparse.ArgumentParser:
     create.add_argument("--op", type=float, default=0.07)
     create.add_argument("--rated-pe-cycles", type=int, default=3000)
     create.add_argument("--fdp", action="store_true")
+    create.add_argument(
+        "--latent", action="store_true",
+        help="attach a default latent-error model (enables e2e CRCs)",
+    )
+    create.add_argument(
+        "--scrub", action="store_true",
+        help="attach a background patrol scrubber with default policy",
+    )
     create.set_defaults(func=_cmd_create)
 
     for name, func, help_text in (
         ("id-ctrl", _cmd_id_ctrl, "show controller/geometry identity"),
         ("fdp-stats", _cmd_fdp_stats, "FDP statistics log page"),
         ("smart", _cmd_smart, "wear and write-amplification counters"),
+        ("scrub-status", _cmd_scrub_status, "patrol-scrub progress"),
         ("format", _cmd_format, "reset the device to a clean state"),
         ("power-cut", _cmd_power_cut, "lose power: tear in-flight writes"),
         ("recover", _cmd_recover, "power-on recovery: rebuild the L2P map"),

@@ -20,6 +20,7 @@ import random
 
 import pytest
 
+from repro.faults.latent import LatentErrorConfig
 from repro.faults.model import FaultConfig
 from repro.faults.plan import OP_POWER, ScriptedFault
 from repro.fdp import PlacementIdentifier
@@ -121,7 +122,7 @@ def replay(device, commands, *, recover_on_cut=True):
 def oob_image(device):
     return [
         None if rec is None
-        else (rec.lba, rec.seq, rec.stream, rec.payload, rec.ok)
+        else (rec.lba, rec.seq, rec.stream, rec.payload, rec.ok, rec.crc)
         for rec in device.ftl._oob
     ]
 
@@ -224,6 +225,28 @@ def test_external_power_cut_and_warm_restart():
     assert_identical(scalar, batched)
     assert replay(scalar, second) == replay(batched, second)
     assert_identical(scalar, batched)
+
+
+@pytest.mark.parametrize("fdp", [False, True])
+def test_quiescent_latent_model_bit_identical(fdp):
+    """A quiescent latent-error model (zero rates, empty plan) stamps
+    CRCs and tracks disturb counters but never perturbs an outcome, so
+    the batched side keeps the extent fast path and both paths stay
+    bit-identical — including the per-page CRCs in the OOB image."""
+    latent = LatentErrorConfig(
+        read_disturb_per_read=0.0, retention_rate=0.0
+    )
+    commands = synthetic_commands(31, 3000, use_pids=fdp)
+    scalar, batched = make_pair(fdp=fdp, latent=latent)
+    assert batched.effective_io_path == "batched"
+    assert scalar.effective_io_path == "scalar"
+    assert replay(scalar, commands) == replay(batched, commands)
+    assert_identical(scalar, batched)
+    # CRC protection is actually on: every mapped OOB record is stamped.
+    assert any(
+        rec is not None and rec.crc is not None
+        for rec in batched.ftl._oob
+    )
 
 
 @pytest.mark.slow
