@@ -2,11 +2,14 @@
 the scaled experiment builders every figure/table bench uses."""
 
 from .driver import CacheBench, ReplayConfig
+from .latency import LATENCY_SCALE, run_latency_soak
 from .metrics import (
     CrashSoakResult,
     IntegritySoakResult,
     IntervalPoint,
+    LatencyArm,
     LatencyReservoir,
+    LatencySoakResult,
     RunResult,
 )
 from .parallel import SweepPoint, point_seed, run_sweep, smoke_points
@@ -35,6 +38,10 @@ __all__ = [
     "RunResult",
     "CrashSoakResult",
     "IntegritySoakResult",
+    "LatencyArm",
+    "LatencySoakResult",
+    "LATENCY_SCALE",
+    "run_latency_soak",
     "ascii_chart",
     "dlwa_timeline_chart",
     "Scale",

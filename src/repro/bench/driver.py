@@ -37,12 +37,23 @@ class ReplayConfig:
     how far the device timeline may run ahead of the host clock
     (bounded queueing); ``poll_interval_ops`` is the DLWA sampling
     cadence.
+
+    ``arrival_interval_ns`` switches the replay from closed-loop to
+    **open-loop**: ops are issued on a fixed clock (one op per
+    interval) regardless of completion times, the way a fixed-rate
+    load generator drives a device under test.  Closed-loop replay
+    couples the host clock to the device — an arm doing more GC gets
+    throttled, which spaces its arrivals out and *masks* its
+    contention — so tail-latency comparisons (the latency soak) must
+    replay both arms open-loop at the same rate; throughput-oriented
+    benches keep the closed loop.
     """
 
     fill_on_miss: bool = True
     think_ns: int = 100_000
     max_backlog_ns: int = 30_000_000
     poll_interval_ops: int = 50_000
+    arrival_interval_ns: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.think_ns < 0:
@@ -51,6 +62,8 @@ class ReplayConfig:
             raise ValueError("max_backlog_ns must be non-negative")
         if self.poll_interval_ops <= 0:
             raise ValueError("poll_interval_ops must be positive")
+        if self.arrival_interval_ns is not None and self.arrival_interval_ns <= 0:
+            raise ValueError("arrival_interval_ns must be positive or None")
 
 
 class CacheBench:
@@ -89,6 +102,7 @@ class CacheBench:
         think = cfg.think_ns
         backlog_cap = cfg.max_backlog_ns
         poll_every = cfg.poll_interval_ops
+        arrival = cfg.arrival_interval_ns
 
         for i in range(total):
             op = ops_arr[i]
@@ -107,12 +121,19 @@ class CacheBench:
             else:  # OP_DEL
                 done = cache.delete(key, now)
 
-            now = done + think
-            # Bounded device backlog: stall the host while the device
-            # is too far behind (finite queue in front of the SSD).
-            backlog = ftl_latency.busy_until - now
-            if backlog > backlog_cap:
-                now = ftl_latency.busy_until - backlog_cap
+            if arrival is not None:
+                # Open loop: the next op arrives on the fixed clock no
+                # matter when this one completed (latency soak mode —
+                # identical arrival schedules across arms).
+                now += arrival
+            else:
+                now = done + think
+                # Bounded device backlog: stall the host while the
+                # device is too far behind (finite queue in front of
+                # the SSD).
+                backlog = ftl_latency.busy_until - now
+                if backlog > backlog_cap:
+                    now = ftl_latency.busy_until - backlog_cap
 
             ops_done += 1
             if ops_done % poll_every == 0:

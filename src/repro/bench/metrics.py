@@ -9,7 +9,7 @@ read/write latency, GC activity, and operational energy.
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -19,6 +19,8 @@ __all__ = [
     "RunResult",
     "CrashSoakResult",
     "IntegritySoakResult",
+    "LatencyArm",
+    "LatencySoakResult",
 ]
 
 
@@ -241,6 +243,102 @@ class IntegritySoakResult:
             f"retired={self.scrub_blocks_retired} "
             f"DLWA={self.dlwa:5.2f}"
         )
+
+
+@dataclasses.dataclass(frozen=True)
+class LatencyArm:
+    """One arm of the latency soak (FDP on or off).
+
+    All latency figures are integer nanoseconds taken from the
+    multi-queue scheduler's log-bucketed histograms (bucket upper
+    bounds — deterministic, so golden fixtures compare exactly).
+    ``per_queue`` maps queue name → op → ``{count, p50, p99, p999}``;
+    the top-level read/write figures merge every queue.
+    """
+
+    name: str
+    fdp: bool
+    ops: int
+    read_count: int
+    read_p50_ns: int
+    read_p99_ns: int
+    read_p999_ns: int
+    write_count: int
+    write_p50_ns: int
+    write_p99_ns: int
+    write_p999_ns: int
+    per_queue: Dict[str, Dict[str, Dict[str, int]]]
+    gc_blocked_commands: int
+    host_wait_ns: int
+    background_ns: Dict[str, int]
+    dlwa: float
+
+    def to_dict(self) -> Dict[str, object]:
+        return dataclasses.asdict(self)
+
+    def summary_row(self) -> str:
+        return (
+            f"{self.name:<24} fdp={str(self.fdp):<5} "
+            f"p50r={self.read_p50_ns / 1000:8.1f}us "
+            f"p99r={self.read_p99_ns / 1000:8.1f}us "
+            f"p999r={self.read_p999_ns / 1000:8.1f}us "
+            f"p99w={self.write_p99_ns / 1000:8.1f}us "
+            f"gc_blocked={self.gc_blocked_commands:<6} "
+            f"DLWA={self.dlwa:5.2f}"
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class LatencySoakResult:
+    """FDP-on vs FDP-off tail latency under queue contention.
+
+    The paper's Figure 13 direction: with placement segregation, SOC
+    reads stop colliding with GC spans on the flash channels, so the
+    FDP arm's p99 read latency drops below the Non-FDP arm's at high
+    utilization (both arms replay the same seed).
+    """
+
+    workload: str
+    utilization: float
+    seed: int
+    fdp_off: LatencyArm
+    fdp_on: LatencyArm
+
+    @property
+    def p99_read_gain(self) -> float:
+        """Non-FDP p99 read latency over FDP (>1 means FDP wins)."""
+        if self.fdp_on.read_p99_ns == 0:
+            return float("inf") if self.fdp_off.read_p99_ns else 1.0
+        return self.fdp_off.read_p99_ns / self.fdp_on.read_p99_ns
+
+    @property
+    def acceptance(self) -> bool:
+        """FDP-on p99 read strictly below FDP-off at ≥70% utilization."""
+        return (
+            self.utilization >= 0.70
+            and self.fdp_on.read_p99_ns < self.fdp_off.read_p99_ns
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "workload": self.workload,
+            "utilization": self.utilization,
+            "seed": self.seed,
+            "fdp_off": self.fdp_off.to_dict(),
+            "fdp_on": self.fdp_on.to_dict(),
+        }
+
+    def summary_table(self) -> str:
+        lines = [
+            f"latency-soak workload={self.workload} "
+            f"util={self.utilization:.0%} seed={self.seed:#x}",
+            self.fdp_off.summary_row(),
+            self.fdp_on.summary_row(),
+            f"p99 read gain (off/on): {self.p99_read_gain:5.2f}x  "
+            f"acceptance(p99_on < p99_off @ util>=70%): "
+            f"{'PASS' if self.acceptance else 'FAIL'}",
+        ]
+        return "\n".join(lines)
 
 
 def steady_state_dlwa(series: Sequence[IntervalPoint]) -> Optional[float]:

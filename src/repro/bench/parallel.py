@@ -32,28 +32,14 @@ never do.
 from __future__ import annotations
 
 import dataclasses
-import hashlib
 import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, Iterable, List, Optional
 
 from .metrics import RunResult
-from .runner import Scale, run_experiment
+from .runner import Scale, point_seed, run_experiment
 
 __all__ = ["SweepPoint", "point_seed", "run_sweep", "smoke_points", "main"]
-
-
-def point_seed(figure: str, index: int) -> int:
-    """Deterministic seed for one sweep point of one figure.
-
-    Derived as the first 4 bytes of ``sha256("figure:index")`` so
-    distinct figures (and distinct points within a figure) get
-    decorrelated traces, while the mapping is stable across runs,
-    machines, and worker schedules.  All arms *within* the point share
-    it (see the module docstring's determinism contract).
-    """
-    digest = hashlib.sha256(f"{figure}:{index}".encode("ascii")).digest()
-    return int.from_bytes(digest[:4], "big")
 
 
 @dataclasses.dataclass(frozen=True)

@@ -14,6 +14,7 @@ constants live in exactly one place.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import random
 from typing import Dict, List, Optional, Tuple
 
@@ -39,6 +40,7 @@ __all__ = [
     "CHAOS_SCALE",
     "CRASH_SCALE",
     "INTEGRITY_SCALE",
+    "point_seed",
     "build_experiment",
     "run_experiment",
     "default_chaos_config",
@@ -47,6 +49,21 @@ __all__ = [
     "default_integrity_latent",
     "run_integrity_soak",
 ]
+
+
+def point_seed(figure: str, index: int) -> int:
+    """Deterministic seed for one sweep point of one figure.
+
+    Derived as the first 4 bytes of ``sha256("figure:index")`` so
+    distinct figures (and distinct points within a figure) get
+    decorrelated traces, while the mapping is stable across runs,
+    machines, and worker schedules.  All arms *within* the point share
+    it (see :mod:`repro.bench.parallel`'s determinism contract).  The
+    soak benches below seed their RNGs from this too — every
+    deterministic run in the repo derives from the same contract.
+    """
+    digest = hashlib.sha256(f"{figure}:{index}".encode("ascii")).digest()
+    return int.from_bytes(digest[:4], "big")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -116,6 +133,7 @@ def build_experiment(
     cache_overrides: Optional[Dict[str, object]] = None,
     faults: Optional[FaultConfig] = None,
     io_path: str = "batched",
+    sched: object = None,
 ) -> HybridCache:
     """Create a device + hybrid cache pair for one experiment arm.
 
@@ -130,11 +148,17 @@ def build_experiment(
     fast path or the reference ``"scalar"`` per-page loop); the two are
     bit-identical (tests/test_differential_batch.py), so benches only
     flip this to measure the speedup itself.
+    ``sched`` (``True`` or a :class:`~repro.ssd.sched.SchedConfig`)
+    attaches the multi-queue scheduler so SOC/LOC/meta I/O queues on
+    parallel channels and per-command latency carries GC interference
+    (the latency soak's measurement path).
     """
     if not 0.0 < utilization <= 1.0:
         raise ValueError("utilization must be in (0, 1]")
     geometry = scale.geometry()
-    device = SimulatedSSD(geometry, fdp=fdp, faults=faults, io_path=io_path)
+    device = SimulatedSSD(
+        geometry, fdp=fdp, faults=faults, io_path=io_path, sched=sched
+    )
     # Reserve the metadata slice out of the cache's share so a
     # 100%-utilization layout still fits the advertised capacity.
     meta_pages = CacheConfig.__dataclass_fields__["metadata_pages"].default
@@ -344,7 +368,7 @@ def run_crash_soak(
     trim_fraction: float = 0.08,
     fdp: bool = True,
     scale: Scale = CRASH_SCALE,
-    seed: int = 0xC0DE,
+    seed: Optional[int] = None,
     checkpoint_interval_pages: int = 768,
     journal_flush_interval: int = 48,
     verbose: bool = False,
@@ -372,9 +396,13 @@ def run_crash_soak(
     accounting are checked after every cycle.
 
     The defaults give 12 cuts (4 per mode) on a device small enough
-    that GC interleaves with the torn writes.  Returns a
+    that GC interleaves with the torn writes.  ``seed`` defaults to
+    ``point_seed("crash_soak", 0)`` — the same sweep-seed contract
+    every other deterministic run derives from.  Returns a
     :class:`~repro.bench.metrics.CrashSoakResult`.
     """
+    if seed is None:
+        seed = point_seed("crash_soak", 0)
     if cycles < 1:
         raise ValueError("cycles must be positive")
     if span < 16:
@@ -604,7 +632,7 @@ def run_integrity_soak(
     commands_per_phase: int = 160,
     fdp: bool = True,
     scale: Scale = INTEGRITY_SCALE,
-    seed: int = 0x5EED,
+    seed: Optional[int] = None,
     latent: Optional[LatentErrorConfig] = None,
     scrub: bool = True,
     scrub_config: Optional[ScrubConfig] = None,
@@ -635,8 +663,11 @@ def run_integrity_soak(
     Also asserts the DLWA ledger balances exactly:
     ``nand = host + GC migrations + scrub relocations`` — scrub
     refresh traffic is real write amplification and must be visible in
-    the reported DLWA.
+    the reported DLWA.  ``seed`` defaults to
+    ``point_seed("integrity_soak", 0)`` per the sweep-seed contract.
     """
+    if seed is None:
+        seed = point_seed("integrity_soak", 0)
     if phases < 1:
         raise ValueError("phases must be positive")
     if span < 16 or span % 16:

@@ -201,7 +201,9 @@ class HybridCache:
         page = self._meta_counter // self.config.metadata_flush_interval
         lba = self._meta_base + (page % self.config.metadata_pages)
         try:
-            return self.io.write(lba, 1, self.io.allocator.default(), now_ns)
+            return self.io.write(
+                lba, 1, self.io.allocator.default(), now_ns, worker="meta"
+            )
         except MediaError:
             # Metadata flushes are periodic and idempotent; a failed one
             # is simply retried at the next interval.

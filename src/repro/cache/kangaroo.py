@@ -228,7 +228,7 @@ class KangarooCache:
         try:
             done = self.device.write(
                 self._log_lba(self._head), 1, self.log_handle, now_ns,
-                payload=payload,
+                worker="soc", payload=payload,
             )
         except MediaError:
             # The head page never reached flash: its staged items are
@@ -307,7 +307,7 @@ class KangarooCache:
             if page != self._head:
                 try:
                     mapped, done = self.device.read(
-                        self._log_lba(page), 1, now_ns
+                        self._log_lba(page), 1, now_ns, worker="soc"
                     )
                 except MediaError:
                     # Log page unreadable: every key staged on it is

@@ -203,6 +203,7 @@ class LargeObjectCache:
                     pages,
                     self.handle,
                     now_ns,
+                    worker="loc",
                     payload=payload,
                 )
             except MediaError:
@@ -297,7 +298,7 @@ class LargeObjectCache:
         pages = max(1, -(-size // self.device.ssd.page_size))
         try:
             mapped, done = self.device.read(
-                self._region_lba(region_id), pages, now_ns
+                self._region_lba(region_id), pages, now_ns, worker="loc"
             )
         except MediaError:
             # The item's pages are unreadable: serve a miss and unmap
@@ -378,7 +379,7 @@ class LargeObjectCache:
                 lost += 1
             self._clean.append(rid)
         if trims:
-            self.device.submit_batch(trims)
+            self.device.submit_batch(trims, worker="loc")
 
         items = 0
         intact.sort()

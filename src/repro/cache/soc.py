@@ -199,7 +199,7 @@ class SmallObjectCache:
         try:
             done = self.device.write(
                 self.base_lba + bucket, 1, self.handle, now_ns,
-                payload=payload,
+                worker="soc", payload=payload,
             )
         except MediaError:
             self.write_errors += 1
@@ -295,7 +295,7 @@ class SmallObjectCache:
             )
         if not staged:
             return 0, now_ns
-        outcomes = self.device.submit_batch(commands, now_ns)
+        outcomes = self.device.submit_batch(commands, now_ns, worker="soc")
         done = now_ns
         total = 0
         for (bucket, admitted), outcome in zip(staged, outcomes):
@@ -325,7 +325,9 @@ class SmallObjectCache:
             self.bloom_rejects += 1
             return None, now_ns
         try:
-            mapped, done = self.device.read(self.base_lba + bucket, 1, now_ns)
+            mapped, done = self.device.read(
+                self.base_lba + bucket, 1, now_ns, worker="soc"
+            )
         except MediaError:
             # UECC survived the device layer's read retries: the page is
             # gone.  Serve a miss and drop the bucket so its bloom stops

@@ -163,6 +163,111 @@ class FdpAwareDevice:
             return None
         return PlacementIdentifier.from_dspec(dspec, self._num_ruhs)
 
+    # -- scheduler plumbing -------------------------------------------
+
+    def _submit_sync(
+        self,
+        op: str,
+        lba: int,
+        npages: int,
+        pid: Optional[PlacementIdentifier],
+        now_ns: int,
+        worker: str,
+        payload: object = None,
+    ):
+        """One command through the attached scheduler, completed inline.
+
+        The sync API funnels through ``submit_async`` + ``poll`` so the
+        per-queue histograms see every host command and completion
+        times carry queue/channel contention (GC spans included) —
+        QD=1 per call, but the channel horizons persist across calls.
+        A failed completion re-raises its media error so the sync
+        retry loops work unchanged.
+        """
+        ssd = self.ssd
+        ticket = ssd.submit_async(
+            op, lba, npages, pid, now_ns, queue=worker, payload=payload
+        )
+        for comp in ssd.poll(worker):
+            if comp.ticket == ticket:
+                if not comp.ok:
+                    raise comp.error
+                return comp
+        raise RuntimeError(f"command {ticket} never completed")
+
+    def submit_async(
+        self,
+        op: str,
+        lba: int,
+        npages: int = 1,
+        handle: PlacementHandle = DEFAULT_HANDLE,
+        now_ns: int = 0,
+        worker: str = "worker-0",
+        payload: object = None,
+    ) -> int:
+        """Submit one tagged command to the worker's queue; returns its
+        ticket (requires a scheduler-enabled device).
+
+        The handle → PID → DSPEC translation is identical to
+        :meth:`write`; media errors surface in the polled completion
+        rather than raising here.  Raises
+        :class:`~repro.ssd.errors.QueueFullError` when the worker's
+        queue window is full (no state changed, no counters bumped).
+        """
+        dtype, dspec = self._encode_directive(handle)
+        pid = self._decode_directive(dtype, dspec)
+        ticket = self.ssd.submit_async(
+            op, lba, npages, pid, now_ns, queue=worker, payload=payload
+        )
+        self.queue(worker).submit()
+        nbytes = npages * self.ssd.page_size
+        if op == "write":
+            self.bytes_written += nbytes
+            self.writes_by_handle[handle.name] = (
+                self.writes_by_handle.get(handle.name, 0) + nbytes
+            )
+        elif op == "read":
+            self.bytes_read += nbytes
+        return ticket
+
+    def poll(
+        self, worker: str = "worker-0", max_completions: Optional[int] = None
+    ):
+        """Drain the worker queue's completions, updating its counters.
+
+        Failed completions (``ok=False``) bump the queue's media-error
+        tallies the same way the sync path's exceptions do; the caller
+        decides whether to resubmit.
+        """
+        comps = self.ssd.poll(worker, max_completions)
+        q = self.queue(worker)
+        for comp in comps:
+            q.complete()
+            if not comp.ok:
+                if comp.op == "read":
+                    q.read_errors += 1
+                    self.read_errors += 1
+                else:
+                    q.write_errors += 1
+                    self.write_errors += 1
+        return comps
+
+    def latency_histograms(
+        self, worker: Optional[str] = None
+    ) -> Dict[str, object]:
+        """Per-queue, per-op scheduler latency histograms.
+
+        Empty dict when no scheduler is attached.  With ``worker``,
+        returns that queue's ``{op: LatencyHistogram}`` map.
+        """
+        sched = self.ssd.scheduler
+        if sched is None:
+            return {}
+        hists = sched.histograms()
+        if worker is not None:
+            return dict(hists.get(worker, {}))
+        return {name: dict(ops) for name, ops in hists.items()}
+
     # -- I/O ----------------------------------------------------------
 
     def write(
@@ -197,7 +302,12 @@ class FdpAwareDevice:
         try:
             for attempt in range(self.max_write_retries + 1):
                 try:
-                    done = self.ssd.write(lba, npages, pid, now_ns, payload)
+                    if self.ssd.scheduler is not None:
+                        done = self._submit_sync(
+                            "write", lba, npages, pid, now_ns, worker, payload
+                        ).complete_ns
+                    else:
+                        done = self.ssd.write(lba, npages, pid, now_ns, payload)
                     break
                 except ProgramFailError:
                     q.write_errors += 1
@@ -240,7 +350,16 @@ class FdpAwareDevice:
         try:
             for attempt in range(self.max_read_retries + 1):
                 try:
-                    result = self.ssd.read(lba, npages, now_ns)
+                    if self.ssd.scheduler is not None:
+                        comp = self._submit_sync(
+                            "read", lba, npages, None, now_ns, worker
+                        )
+                        # Queue-contended completion time replaces the
+                        # bare busy-clock one; the mapped flag is the
+                        # FTL's.
+                        result = (comp.result[0], comp.complete_ns)
+                    else:
+                        result = self.ssd.read(lba, npages, now_ns)
                     break
                 except UncorrectableReadError:
                     q.read_errors += 1
@@ -303,7 +422,12 @@ class FdpAwareDevice:
                     continue
             elif op == OP_TRIM:
                 cmd = BatchCommand(op, lba, npages)
-                value = self.ssd.deallocate(lba, npages)
+                if self.ssd.scheduler is not None:
+                    value = self._submit_sync(
+                        "trim", lba, npages, None, now_ns, worker
+                    ).result
+                else:
+                    value = self.ssd.deallocate(lba, npages)
             else:
                 raise ValueError(f"unknown batch op {op!r}")
             outcomes.append(BatchOutcome(cmd, True, value=value))

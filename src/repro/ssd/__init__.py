@@ -28,6 +28,7 @@ from .errors import (
     OutOfRangeError,
     PowerLossError,
     ProgramFailError,
+    QueueFullError,
     SsdError,
     UncorrectableReadError,
 )
@@ -41,6 +42,12 @@ from .recovery import (
     RecoveryReport,
     TornWrite,
     payload_crc,
+)
+from .sched import (
+    IoCompletion,
+    LatencyHistogram,
+    MultiQueueScheduler,
+    SchedConfig,
 )
 from .scrub import PatrolScrubber, ScrubConfig, ScrubStatus
 from .stats import DeviceStats, StatsSnapshot
@@ -88,6 +95,7 @@ __all__ = [
     "EraseFailError",
     "PowerLossError",
     "DeviceOfflineError",
+    "QueueFullError",
     "OobRecord",
     "MappingJournal",
     "TornWrite",
@@ -97,4 +105,8 @@ __all__ = [
     "PatrolScrubber",
     "ScrubConfig",
     "ScrubStatus",
+    "SchedConfig",
+    "MultiQueueScheduler",
+    "LatencyHistogram",
+    "IoCompletion",
 ]

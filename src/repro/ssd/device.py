@@ -29,9 +29,11 @@ from ..fdp.logpage import FdpStatisticsLogPage
 from ..fdp.ruh import PlacementIdentifier
 from .batch import OP_READ, OP_TRIM, OP_WRITE, BatchCommand
 from .energy import EnergyCosts, EnergyModel
+from .errors import MediaError, QueueFullError
 from .ftl import Ftl
 from .geometry import Geometry
 from .latency import LatencyModel, NandTimings
+from .sched import IoCompletion, MultiQueueScheduler, SchedConfig
 from .scrub import PatrolScrubber, ScrubConfig, ScrubStatus
 from .stats import DeviceStats, StatsSnapshot
 
@@ -97,6 +99,7 @@ class SimulatedSSD:
         io_path: str = "batched",
         latent: "LatentErrorConfig | LatentErrorModel | None" = None,
         scrub: "ScrubConfig | PatrolScrubber | bool | None" = None,
+        sched: "SchedConfig | bool | None" = None,
     ) -> None:
         self.geometry = geometry
         if fdp is True:
@@ -120,6 +123,7 @@ class SimulatedSSD:
         self.io_path = io_path
         self._latent_spec = latent
         self._scrub_spec = scrub
+        self._sched_spec = sched
         self.ftl = self._new_ftl()
 
     def _new_fault_model(self) -> Optional[FaultModel]:
@@ -146,6 +150,15 @@ class SimulatedSSD:
             return spec
         return PatrolScrubber(spec)
 
+    def _new_sched(self) -> Optional[MultiQueueScheduler]:
+        spec = self._sched_spec
+        if spec is None or spec is False:
+            return None
+        config = spec if isinstance(spec, SchedConfig) else None
+        return MultiQueueScheduler(
+            config, geometry=self.geometry, timings=self._timings
+        )
+
     def _new_ftl(self) -> Ftl:
         extra = {}
         if self._checkpoint_interval is not None:
@@ -168,6 +181,7 @@ class SimulatedSSD:
             io_path=self.io_path,
             latent=self._new_latent_model(),
             scrub=self._new_scrubber(),
+            sched=self._new_sched(),
             **extra,
         )
 
@@ -280,6 +294,126 @@ class SimulatedSSD:
                 assert cmd.op == OP_TRIM  # coerce() already validated
                 results.append(self.ftl.deallocate(cmd.lba, cmd.npages))
         return results
+
+    # ------------------------------------------------------------------
+    # asynchronous submission (multi-queue scheduler)
+    # ------------------------------------------------------------------
+
+    @property
+    def scheduler(self) -> Optional[MultiQueueScheduler]:
+        """The attached multi-queue scheduler, or ``None``.
+
+        Attach one with ``sched=True`` (defaults) or a
+        :class:`~repro.ssd.sched.SchedConfig`; :meth:`format` rebuilds
+        it along with the FTL.  The scheduler is a pure timing overlay:
+        it never changes what a command writes, only when it completes.
+        """
+        return self.ftl.sched
+
+    def _host_channel(self, lba: int) -> int:
+        """Channel the first page of a host command occupies.
+
+        Mapped LBAs land on the channel of the superblock holding the
+        page, so reads genuinely collide with GC spans on the same
+        stripe; unmapped targets (miss reads, trims of clean ranges)
+        fall back to an LBA-derived channel so they still contend
+        deterministically.
+        """
+        ftl = self.ftl
+        ppn = ftl._l2p[lba] if 0 <= lba < len(ftl._l2p) else -1
+        if ppn >= 0:
+            return ftl.sched.channel_for(ppn // ftl._pps)
+        return lba % ftl.sched.channels
+
+    def submit_async(
+        self,
+        op: str,
+        lba: int,
+        npages: int = 1,
+        pid: Optional[PlacementIdentifier] = None,
+        now_ns: int = 0,
+        *,
+        queue: str = "host",
+        payload: object = None,
+    ) -> int:
+        """Submit one command to a named queue; returns its ticket.
+
+        The FTL state mutation executes synchronously, in submission
+        order, exactly as the matching :meth:`write` / :meth:`read` /
+        :meth:`deallocate` call would — which is what keeps
+        scheduler-on runs bit-identical to scheduler-off for all
+        non-timing state.  Only the completion time is deferred: it is
+        assigned by the multi-queue scheduler under WRR arbitration and
+        channel contention, and surfaces via :meth:`poll`.
+
+        Media errors are captured into the completion
+        (``IoCompletion.ok is False`` with ``error`` set, like an NVMe
+        status code) — their state side effects (retirement, poisoning)
+        have already happened.  :class:`~repro.ssd.errors.PowerLossError`
+        propagates: the device is dark and the command never completes.
+        Raises :class:`~repro.ssd.errors.QueueFullError` — before any
+        state changes — when the queue's outstanding window is full.
+        """
+        sched = self.ftl.sched
+        if sched is None:
+            raise ValueError(
+                "submit_async requires a scheduler; construct the device "
+                "with sched=True or a SchedConfig"
+            )
+        if npages <= 0:
+            raise ValueError("npages must be positive")
+        if op not in ("write", "read", "trim"):
+            raise ValueError(f"op must be 'write', 'read' or 'trim', got {op!r}")
+        # Backpressure check BEFORE state execution: a rejected
+        # command must leave the device untouched.
+        if sched.depth_available(queue) <= 0:
+            raise QueueFullError(
+                f"queue {queue!r} is full (depth "
+                f"{sched.config.queue_depth}); poll() completions before "
+                "submitting more"
+            )
+        # Trims occupy the channel where the data lived before the
+        # mapping is destroyed.
+        channel = self._host_channel(lba)
+        result: object = None
+        error: Optional[MediaError] = None
+        try:
+            if op == "write":
+                result = self.ftl.write_range(lba, npages, pid, now_ns, payload)
+                channel = self._host_channel(lba)  # newly programmed location
+            elif op == "read":
+                result = self.ftl.read_range(lba, npages, now_ns)
+            else:
+                result = self.ftl.deallocate(lba, npages)
+        except MediaError as exc:
+            error = exc
+        return sched.submit(
+            queue,
+            op,
+            lba=lba,
+            npages=npages,
+            channel=channel,
+            now_ns=now_ns,
+            result=result,
+            error=error,
+        )
+
+    def poll(
+        self, queue: str = "host", max_completions: Optional[int] = None
+    ) -> List[IoCompletion]:
+        """Drain completions from a queue (all of them by default).
+
+        Completions arrive in completion-time order with a monotone
+        per-queue completion clock; each records the command's queue
+        latency and feeds the per-queue histograms.
+        """
+        sched = self.ftl.sched
+        if sched is None:
+            raise ValueError(
+                "poll requires a scheduler; construct the device with "
+                "sched=True or a SchedConfig"
+            )
+        return sched.poll(queue, max_completions)
 
     def format(self) -> None:
         """Return the device to a clean state (whole-device TRIM +

@@ -26,6 +26,7 @@ __all__ = [
     "EraseFailError",
     "PowerLossError",
     "DeviceOfflineError",
+    "QueueFullError",
 ]
 
 
@@ -142,4 +143,15 @@ class DeviceOfflineError(SsdError):
     Raised by every host-facing operation between
     :meth:`~repro.ssd.device.SimulatedSSD.power_cut` and
     :meth:`~repro.ssd.device.SimulatedSSD.recover`.
+    """
+
+
+class QueueFullError(SsdError):
+    """A submission queue's outstanding window is exhausted.
+
+    Raised by :meth:`~repro.ssd.device.SimulatedSSD.submit_async` when
+    the target queue already holds ``queue_depth`` unpolled commands —
+    the same backpressure a full NVMe SQ exerts.  The host must
+    :meth:`~repro.ssd.device.SimulatedSSD.poll` completions before
+    submitting more; no device state changed.
     """

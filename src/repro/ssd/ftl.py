@@ -200,10 +200,17 @@ class Ftl:
         io_path: str = "batched",
         latent: "Optional[object]" = None,
         scrub: "Optional[object]" = None,
+        sched: "Optional[object]" = None,
     ) -> None:
         self.geometry = geometry
         self.fdp_config = fdp_config
         self.faults = faults
+        # Multi-queue scheduler (repro.ssd.sched): a pure timing
+        # overlay.  When attached, GC/scrub work is additionally
+        # reported as channel-occupancy spans; no state path branches
+        # on it, which is what keeps scheduler-on runs bit-identical
+        # to scheduler-off for L2P/P2L/OOB/journal/stats.
+        self.sched = sched
         if io_path not in ("batched", "scalar"):
             raise ValueError(
                 f"io_path must be 'batched' or 'scalar', got {io_path!r}"
@@ -592,6 +599,10 @@ class Ftl:
                 victim.valid_pages -= 1
                 migrated += 1
             self.latency.gc_migrate(now_ns, migrated)
+            if self.sched is not None:
+                self.sched.note_background(
+                    "gc_migrate", victim.index, migrated, now_ns
+                )
             self.energy.add_reads(migrated)
             self.energy.add_programs(migrated)
             self.stats.gc_pages_read += migrated
@@ -643,6 +654,8 @@ class Ftl:
             self.stats.erase_failures += 1
             self.stats.superblocks_retired += 1
             self.latency.erase(now_ns)  # the failed attempt still busies the die
+            if self.sched is not None:
+                self.sched.note_background("erase", victim.index, 0, now_ns)
             self.energy.add_erases(self.geometry.blocks_per_superblock)
             self.events.record(
                 FdpEvent(
@@ -655,6 +668,8 @@ class Ftl:
         victim.erase()
         self._free.append(victim.index)
         self.latency.erase(now_ns)
+        if self.sched is not None:
+            self.sched.note_background("erase", victim.index, 0, now_ns)
         self.energy.add_erases(self.geometry.blocks_per_superblock)
         self.stats.superblocks_erased += 1
         return True

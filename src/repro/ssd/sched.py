@@ -1,0 +1,660 @@
+"""Multi-queue I/O scheduler: NVMe-style queues over parallel channels.
+
+The paper's second headline result — beyond DLWA ≈ 1.03 — is that FDP
+segregation cuts p99 read latency because SOC reads stop queueing
+behind GC traffic (Figure 13).  The busy-clock model in
+:mod:`repro.ssd.latency` charges every operation on one shared
+timeline, so per-command latency is a fixed service cost plus whatever
+the single server happens to be doing; there is no queue to stand in,
+and therefore no tail to measure.  This module adds the queueing layer:
+
+* **Submission/completion queues.** Hosts create named queues (the
+  hybrid cache uses ``"soc"``/``"loc"``/``"meta"``) with a bounded
+  depth; :meth:`MultiQueueScheduler.submit` enqueues a command and
+  raises :class:`QueueFullError` when the queue's outstanding window is
+  full, and :meth:`MultiQueueScheduler.poll` drains completions in
+  completion-time order with a monotone per-queue completion clock
+  (the high-water mark of reported completion times never regresses).
+* **Weighted round-robin arbitration.** Pending commands are dispatched
+  across queues in WRR order (``weight`` commands per queue per round),
+  the arbitration burst model of the NVMe spec.
+* **Bounded channels.** The device exposes ``dies × planes_per_die``
+  parallel channels (a superblock stripes across all of them, so one
+  channel stands for "the stripe is busy with this superblock's
+  command").  A command dispatched to channel *c* starts no earlier
+  than the channel is free; commands on different channels overlap.
+* **Background die occupancy.** The FTL reports GC migrations, erases,
+  and scrub work as *spans* on the victim superblock's channel instead
+  of only charging the busy clock.  Spans are split into bounded
+  segments: a host command arriving mid-span waits only for the
+  segment in flight (preemption at segment boundaries), and the
+  remaining segments resume behind it — exactly the suspend/resume
+  behaviour modern controllers implement for erase/program suspend.
+
+The scheduler is a **timing overlay**: it never touches FTL state.
+State mutations (L2P, OOB, journal, stats) execute synchronously in
+submission order whether or not a scheduler is attached; the scheduler
+only decides *when* each command completes.  That is what keeps
+``submit_async``/``poll`` bit-identical to the synchronous path for
+everything except latency (enforced by the differential arm in
+``tests/test_differential_batch.py``).
+
+Everything is integer nanoseconds and deterministic: same submissions,
+same completions, no wall clock, no RNG.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import deque
+from typing import Deque, Dict, List, Mapping, Optional, Tuple
+
+from .errors import QueueFullError
+from .geometry import Geometry
+from .latency import NandTimings
+
+__all__ = [
+    "QueueFullError",
+    "SchedConfig",
+    "LatencyHistogram",
+    "IoCompletion",
+    "MultiQueueScheduler",
+]
+
+# Background span kinds the FTL/scrubber report.
+GC_MIGRATE = "gc_migrate"
+ERASE = "erase"
+SCRUB_SCAN = "scrub_scan"
+SCRUB_RELOCATE = "scrub_relocate"
+
+_BACKGROUND_KINDS = (GC_MIGRATE, ERASE, SCRUB_SCAN, SCRUB_RELOCATE)
+
+
+@dataclasses.dataclass(frozen=True)
+class SchedConfig:
+    """Multi-queue scheduler policy knobs.
+
+    ``queue_depth`` bounds each queue's outstanding (submitted, not yet
+    polled) commands.  ``weights`` maps queue names to their WRR
+    arbitration burst (commands dispatched per round); unlisted queues
+    get ``default_weight``.  ``channels`` overrides the number of
+    parallel flash channels, which otherwise derives from the geometry
+    as ``dies × planes_per_die``.  ``segment_pages`` is the preemption
+    granularity of background spans: a GC migration of N pages becomes
+    ⌈N / segment_pages⌉ boundary-preemptible segments (erases are one
+    indivisible segment — real suspend granularity is far coarser for
+    erase, and the 3 ms erase is precisely the tail the model must
+    keep).
+    """
+
+    queue_depth: int = 32
+    default_weight: int = 1
+    weights: Mapping[str, int] = dataclasses.field(default_factory=dict)
+    channels: Optional[int] = None
+    segment_pages: int = 8
+
+    def __post_init__(self) -> None:
+        if self.queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        if self.default_weight < 1:
+            raise ValueError("default_weight must be >= 1")
+        for name, weight in self.weights.items():
+            if weight < 1:
+                raise ValueError(f"weight for queue {name!r} must be >= 1")
+        if self.channels is not None and self.channels < 1:
+            raise ValueError("channels must be >= 1 or None")
+        if self.segment_pages < 1:
+            raise ValueError("segment_pages must be >= 1")
+
+
+# --------------------------------------------------------------------
+# log-bucketed histogram
+# --------------------------------------------------------------------
+
+# Sub-bucket resolution: 2**_SUB_BITS linear sub-buckets per power of
+# two, i.e. worst-case quantization error of 1/16 ≈ 6 % — plenty for
+# p50/p99/p999 regression tracking while keeping the golden fixtures
+# small and stable.
+_SUB_BITS = 4
+_SUB_COUNT = 1 << _SUB_BITS
+
+
+class LatencyHistogram:
+    """Log-bucketed latency histogram (HDR-histogram style).
+
+    Values are non-negative integer nanoseconds.  Buckets are exact for
+    values below ``2**_SUB_BITS`` and geometric above, with
+    ``2**_SUB_BITS`` linear sub-buckets per octave.  Percentiles return
+    the *upper bound* of the containing bucket — a deterministic
+    integer, so goldens compare exactly across platforms.  Histograms
+    with the same bucketing merge by adding counts, which is how the
+    soak aggregates per-queue read histograms into one device-wide
+    tail.
+    """
+
+    __slots__ = ("counts", "count", "sum_ns", "min_ns", "max_ns")
+
+    def __init__(self) -> None:
+        self.counts: Dict[int, int] = {}
+        self.count = 0
+        self.sum_ns = 0
+        self.min_ns: Optional[int] = None
+        self.max_ns: Optional[int] = None
+
+    @staticmethod
+    def bucket_index(value_ns: int) -> int:
+        """Bucket index for a value (monotone in the value)."""
+        if value_ns < 0:
+            raise ValueError("latency must be non-negative")
+        if value_ns < _SUB_COUNT:
+            return value_ns
+        exp = value_ns.bit_length() - 1 - _SUB_BITS
+        # Sub-bucket in [_SUB_COUNT, 2*_SUB_COUNT); index is contiguous
+        # across octaves.
+        return (exp << _SUB_BITS) + (value_ns >> exp)
+
+    @staticmethod
+    def bucket_upper_bound(index: int) -> int:
+        """Largest value mapping to ``index`` (the reported quantile)."""
+        if index < 0:
+            raise ValueError("bucket index must be non-negative")
+        if index < _SUB_COUNT:
+            return index
+        # Sub-buckets live in [_SUB_COUNT, 2*_SUB_COUNT), so the octave
+        # is one less than the raw high bits.
+        exp = (index >> _SUB_BITS) - 1
+        sub = (index & (_SUB_COUNT - 1)) | _SUB_COUNT
+        return ((sub + 1) << exp) - 1
+
+    def record(self, value_ns: int, n: int = 1) -> None:
+        if n <= 0:
+            raise ValueError("count must be positive")
+        idx = self.bucket_index(value_ns)
+        self.counts[idx] = self.counts.get(idx, 0) + n
+        self.count += n
+        self.sum_ns += value_ns * n
+        if self.min_ns is None or value_ns < self.min_ns:
+            self.min_ns = value_ns
+        if self.max_ns is None or value_ns > self.max_ns:
+            self.max_ns = value_ns
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold ``other``'s counts into this histogram."""
+        for idx, n in other.counts.items():
+            self.counts[idx] = self.counts.get(idx, 0) + n
+        self.count += other.count
+        self.sum_ns += other.sum_ns
+        if other.min_ns is not None and (
+            self.min_ns is None or other.min_ns < self.min_ns
+        ):
+            self.min_ns = other.min_ns
+        if other.max_ns is not None and (
+            self.max_ns is None or other.max_ns > self.max_ns
+        ):
+            self.max_ns = other.max_ns
+
+    def percentile(self, p: float) -> int:
+        """Bucket upper bound at percentile ``p`` (0 when empty)."""
+        if not 0.0 <= p <= 100.0:
+            raise ValueError("percentile must be in [0, 100]")
+        if self.count == 0:
+            return 0
+        # Rank of the target sample, 1-based, nearest-rank definition.
+        rank = max(1, -(-int(p * self.count) // 100))
+        seen = 0
+        for idx in sorted(self.counts):
+            seen += self.counts[idx]
+            if seen >= rank:
+                return self.bucket_upper_bound(idx)
+        return self.bucket_upper_bound(max(self.counts))
+
+    def p50(self) -> int:
+        return self.percentile(50.0)
+
+    def p99(self) -> int:
+        return self.percentile(99.0)
+
+    def p999(self) -> int:
+        return self.percentile(99.9)
+
+    def mean(self) -> float:
+        return self.sum_ns / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly image (golden fixtures round-trip this)."""
+        return {
+            "count": self.count,
+            "sum_ns": self.sum_ns,
+            "min_ns": self.min_ns,
+            "max_ns": self.max_ns,
+            "counts": {str(idx): n for idx, n in sorted(self.counts.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, image: Mapping[str, object]) -> "LatencyHistogram":
+        hist = cls()
+        hist.count = int(image["count"])
+        hist.sum_ns = int(image["sum_ns"])
+        hist.min_ns = None if image["min_ns"] is None else int(image["min_ns"])
+        hist.max_ns = None if image["max_ns"] is None else int(image["max_ns"])
+        hist.counts = {
+            int(idx): int(n) for idx, n in dict(image["counts"]).items()
+        }
+        return hist
+
+
+# --------------------------------------------------------------------
+# scheduler internals
+# --------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class IoCompletion:
+    """One completion-queue entry.
+
+    ``complete_ns`` is the raw device completion time (CQ entries post
+    as commands finish, out of submission order, like real NVMe);
+    ``latency_ns = complete_ns - submit_ns``.  ``result`` carries the
+    op's return value (write → ack time, read → all-mapped flag, trim →
+    pages invalidated); ``error`` carries the MediaError a failed
+    command completed with (the NVMe status code analogue) — state-side
+    effects of the failure already happened at submit.
+    """
+
+    ticket: int
+    queue: str
+    op: str
+    lba: int
+    npages: int
+    submit_ns: int
+    complete_ns: int
+    latency_ns: int
+    ok: bool
+    result: object = None
+    error: Optional[BaseException] = None
+
+
+class _Command:
+    __slots__ = (
+        "ticket", "queue", "op", "lba", "npages",
+        "channel", "submit_ns", "duration_ns", "result", "error",
+    )
+
+    def __init__(
+        self, ticket, queue, op, lba, npages,
+        channel, submit_ns, duration_ns, result, error,
+    ) -> None:
+        self.ticket = ticket
+        self.queue = queue
+        self.op = op
+        self.lba = lba
+        self.npages = npages
+        self.channel = channel
+        self.submit_ns = submit_ns
+        self.duration_ns = duration_ns
+        self.result = result
+        self.error = error
+
+
+class _Queue:
+    __slots__ = (
+        "name", "weight", "pending", "done",
+        "outstanding", "clock_ns", "histograms",
+        "submitted", "completed",
+    )
+
+    def __init__(self, name: str, weight: int) -> None:
+        self.name = name
+        self.weight = weight
+        self.pending: Deque[_Command] = deque()
+        # Dispatched but not yet polled: (raw_complete_ns, ticket, cmd).
+        self.done: List[Tuple[int, int, _Command]] = []
+        self.outstanding = 0
+        self.clock_ns = 0  # monotone CQ clock
+        self.histograms: Dict[str, LatencyHistogram] = {}
+        self.submitted = 0
+        self.completed = 0
+
+
+class MultiQueueScheduler:
+    """Deterministic event-clock scheduler over bounded flash channels.
+
+    One instance is attached to one FTL generation (``format()``
+    rebuilds it); the cache's device layer funnels its sync reads and
+    writes through :meth:`submit`/:meth:`poll` when attached, so the
+    per-queue histograms see every host command.
+    """
+
+    def __init__(
+        self,
+        config: Optional[SchedConfig] = None,
+        *,
+        geometry: Optional[Geometry] = None,
+        timings: Optional[NandTimings] = None,
+    ) -> None:
+        self.config = config or SchedConfig()
+        self.timings = timings or NandTimings()
+        if self.config.channels is not None:
+            self.channels = self.config.channels
+        elif geometry is not None:
+            self.channels = geometry.dies * geometry.planes_per_die
+        else:
+            self.channels = 4
+        # Per-channel service horizon and pending background segments
+        # (kind, duration_ns, ready_ns) in arrival order.
+        self._free_at: List[int] = [0] * self.channels
+        self._backlog: List[Deque[Tuple[str, int, int]]] = [
+            deque() for _ in range(self.channels)
+        ]
+        self._queues: Dict[str, _Queue] = {}
+        self._order: List[str] = []  # WRR visit order = creation order
+        self._next_ticket = 0
+        # Telemetry: background occupancy by kind, and how often a host
+        # command had to wait behind a background segment.
+        self.background_ns: Dict[str, int] = dict.fromkeys(_BACKGROUND_KINDS, 0)
+        self.background_segments: Dict[str, int] = dict.fromkeys(
+            _BACKGROUND_KINDS, 0
+        )
+        self.host_commands = 0
+        self.host_wait_ns = 0
+        self.gc_blocked_commands = 0
+        # Dispatch order of (queue, ticket) — the WRR fairness tests'
+        # observable.
+        self.dispatch_log: List[Tuple[str, int]] = []
+
+    # -- queue management ---------------------------------------------
+
+    def queue(self, name: str) -> "_Queue":
+        q = self._queues.get(name)
+        if q is None:
+            weight = self.config.weights.get(name, self.config.default_weight)
+            q = _Queue(name, weight)
+            self._queues[name] = q
+            self._order.append(name)
+        return q
+
+    def queue_names(self) -> List[str]:
+        return list(self._order)
+
+    def depth_available(self, name: str) -> int:
+        """Remaining outstanding window for a queue (creates it)."""
+        return self.config.queue_depth - self.queue(name).outstanding
+
+    def histograms(self) -> Dict[str, Dict[str, LatencyHistogram]]:
+        """Per-queue, per-op latency histograms (live references)."""
+        return {name: q.histograms for name, q in self._queues.items()}
+
+    def clear_histograms(self) -> None:
+        """Drop every queue's recorded latencies (counters are kept).
+
+        Measurement-window control for the soaks: replay a warm-up
+        prefix, clear, and the histograms then hold only steady-state
+        latencies — the telemetry counters (``host_wait_ns``,
+        ``gc_blocked_commands``, ``background_ns``) still cover the
+        whole run.
+        """
+        for q in self._queues.values():
+            q.histograms.clear()
+
+    def merged_histogram(self, op: str) -> LatencyHistogram:
+        """One histogram merging every queue's ``op`` latencies."""
+        merged = LatencyHistogram()
+        for q in self._queues.values():
+            hist = q.histograms.get(op)
+            if hist is not None:
+                merged.merge(hist)
+        return merged
+
+    # -- durations -----------------------------------------------------
+
+    def _striped(self, npages: int, per_page_ns: int) -> int:
+        serial = npages * per_page_ns
+        return max(per_page_ns, serial // self.timings.parallelism)
+
+    def host_duration(self, op: str, npages: int) -> int:
+        """Channel occupancy of one host command (same NAND timings and
+        striping as the busy-clock model charges)."""
+        t = self.timings
+        if op == "write":
+            return self._striped(npages, t.program_ns + t.transfer_ns)
+        if op == "read":
+            return self._striped(npages, t.read_ns + t.transfer_ns)
+        if op == "trim":
+            # Metadata-only: one firmware/transfer overhead.
+            return t.transfer_ns
+        raise ValueError(f"unknown host op {op!r}")
+
+    def channel_for(self, superblock_index: int) -> int:
+        """Deterministic superblock → channel mapping."""
+        return superblock_index % self.channels
+
+    # -- background spans ---------------------------------------------
+
+    def note_background(
+        self, kind: str, superblock_index: int, npages: int, now_ns: int
+    ) -> None:
+        """Queue a GC/scrub/erase span on the superblock's channel.
+
+        The span is split into boundary-preemptible segments of at most
+        ``segment_pages`` pages (one indivisible segment for erases).
+        Segments become runnable at ``now_ns`` and occupy the channel
+        lazily: they are folded into the channel's horizon when the
+        next host command for that channel dispatches, which is when
+        their interference becomes observable.
+        """
+        if kind not in _BACKGROUND_KINDS:
+            raise ValueError(f"unknown background kind {kind!r}")
+        channel = self.channel_for(superblock_index)
+        t = self.timings
+        if kind == ERASE:
+            segments = [t.erase_ns]
+        else:
+            if npages <= 0:
+                return
+            per_page = {
+                GC_MIGRATE: t.read_ns + t.program_ns,
+                SCRUB_SCAN: t.read_ns,
+                SCRUB_RELOCATE: t.program_ns,
+            }[kind]
+            seg = self.config.segment_pages
+            segments = [
+                self._striped(min(seg, npages - off), per_page)
+                for off in range(0, npages, seg)
+            ]
+        backlog = self._backlog[channel]
+        for dur in segments:
+            backlog.append((kind, dur, now_ns))
+            self.background_ns[kind] += dur
+            self.background_segments[kind] += 1
+
+    def _advance_channel(self, channel: int, horizon_ns: int) -> int:
+        """Run background segments that start before ``horizon_ns``.
+
+        Returns the channel's free time for a host command arriving at
+        ``horizon_ns``: every queued segment whose start (the later of
+        its ready time and the channel horizon) falls *before* the
+        arrival runs to completion — the segment in flight is never
+        preempted — while segments that would start at or after the
+        arrival yield at the boundary and resume behind the host
+        command.
+        """
+        free = self._free_at[channel]
+        backlog = self._backlog[channel]
+        while backlog:
+            kind, dur, ready = backlog[0]
+            start = ready if ready > free else free
+            if start >= horizon_ns:
+                break
+            backlog.popleft()
+            free = start + dur
+        self._free_at[channel] = free
+        return free
+
+    def drain_background(self, now_ns: int) -> None:
+        """Fold every runnable background segment into the horizons.
+
+        End-of-run telemetry helper so channel horizons reflect all
+        reported GC work even if no host command lands on a channel
+        again.
+        """
+        for channel in range(self.channels):
+            self._advance_channel(channel, now_ns)
+            backlog = self._backlog[channel]
+            free = self._free_at[channel]
+            while backlog:
+                kind, dur, ready = backlog.popleft()
+                start = ready if ready > free else free
+                free = start + dur
+            self._free_at[channel] = free
+
+    # -- submission / completion --------------------------------------
+
+    def submit(
+        self,
+        queue: str,
+        op: str,
+        *,
+        lba: int,
+        npages: int,
+        channel: int,
+        now_ns: int,
+        duration_ns: Optional[int] = None,
+        result: object = None,
+        error: Optional[BaseException] = None,
+    ) -> int:
+        """Enqueue one command; returns its ticket.
+
+        Raises :class:`QueueFullError` when the queue's outstanding
+        window (pending + unpolled completions) is at ``queue_depth``.
+        State side effects have already happened by the time this is
+        called — the scheduler only assigns the completion time.
+        """
+        q = self.queue(queue)
+        if q.outstanding >= self.config.queue_depth:
+            raise QueueFullError(
+                f"queue {queue!r} is full (depth "
+                f"{self.config.queue_depth}); poll() completions before "
+                "submitting more"
+            )
+        if not 0 <= channel < self.channels:
+            raise ValueError(f"channel {channel} outside [0, {self.channels})")
+        if duration_ns is None:
+            duration_ns = self.host_duration(op, npages)
+        ticket = self._next_ticket
+        self._next_ticket += 1
+        q.pending.append(
+            _Command(
+                ticket, queue, op, lba, npages,
+                channel, now_ns, duration_ns, result, error,
+            )
+        )
+        q.outstanding += 1
+        q.submitted += 1
+        return ticket
+
+    def _dispatch_all(self) -> None:
+        """WRR arbitration: drain every pending command to its channel."""
+        pending = True
+        while pending:
+            pending = False
+            for name in self._order:
+                q = self._queues[name]
+                burst = q.weight
+                while burst and q.pending:
+                    cmd = q.pending.popleft()
+                    self._run(cmd, q)
+                    burst -= 1
+                if q.pending:
+                    pending = True
+
+    def _run(self, cmd: _Command, q: _Queue) -> None:
+        free = self._advance_channel(cmd.channel, cmd.submit_ns)
+        start = cmd.submit_ns if cmd.submit_ns > free else free
+        wait = start - cmd.submit_ns
+        if wait > 0:
+            self.host_wait_ns += wait
+            self.gc_blocked_commands += 1
+        complete = start + cmd.duration_ns
+        self._free_at[cmd.channel] = complete
+        self.host_commands += 1
+        self.dispatch_log.append((cmd.queue, cmd.ticket))
+        q.done.append((complete, cmd.ticket, cmd))
+
+    def poll(
+        self, queue: str, max_completions: Optional[int] = None
+    ) -> List[IoCompletion]:
+        """Drain up to ``max_completions`` entries from a queue's CQ.
+
+        Dispatches every pending command first (arbitration is global:
+        another queue's earlier submissions claim their channel time
+        regardless of who polls), then pops this queue's completions in
+        completion-time order.  Completion times are the raw device
+        times — NVMe posts CQ entries as commands finish, out of
+        submission order — and the queue's completion *clock* is the
+        monotone high-water mark of everything reported so far.
+        (Clamping each entry forward to the clock instead would fake
+        head-of-line blocking: a 70 µs read polled after a multi-ms
+        write batch on the same queue would inherit the batch's
+        completion time and dominate the read tail.)
+        """
+        self._dispatch_all()
+        q = self.queue(queue)
+        q.done.sort(key=lambda item: (item[0], item[1]))
+        limit = len(q.done) if max_completions is None else max_completions
+        out: List[IoCompletion] = []
+        while q.done and len(out) < limit:
+            complete, _, cmd = q.done.pop(0)
+            if complete > q.clock_ns:
+                q.clock_ns = complete
+            latency = complete - cmd.submit_ns
+            hist = q.histograms.get(cmd.op)
+            if hist is None:
+                hist = q.histograms[cmd.op] = LatencyHistogram()
+            hist.record(latency)
+            q.outstanding -= 1
+            q.completed += 1
+            out.append(
+                IoCompletion(
+                    ticket=cmd.ticket,
+                    queue=cmd.queue,
+                    op=cmd.op,
+                    lba=cmd.lba,
+                    npages=cmd.npages,
+                    submit_ns=cmd.submit_ns,
+                    complete_ns=complete,
+                    latency_ns=latency,
+                    ok=cmd.error is None,
+                    result=cmd.result,
+                    error=cmd.error,
+                )
+            )
+        return out
+
+    def outstanding(self, queue: Optional[str] = None) -> int:
+        """Commands submitted but not yet polled (one queue or all)."""
+        if queue is not None:
+            return self.queue(queue).outstanding
+        return sum(q.outstanding for q in self._queues.values())
+
+    # -- telemetry -----------------------------------------------------
+
+    def stats_dict(self) -> Dict[str, object]:
+        """JSON-friendly scheduler telemetry."""
+        return {
+            "channels": self.channels,
+            "queue_depth": self.config.queue_depth,
+            "host_commands": self.host_commands,
+            "host_wait_ns": self.host_wait_ns,
+            "gc_blocked_commands": self.gc_blocked_commands,
+            "background_ns": dict(self.background_ns),
+            "background_segments": dict(self.background_segments),
+            "queues": {
+                name: {
+                    "weight": q.weight,
+                    "submitted": q.submitted,
+                    "completed": q.completed,
+                    "outstanding": q.outstanding,
+                }
+                for name, q in self._queues.items()
+            },
+        }

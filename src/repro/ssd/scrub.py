@@ -277,6 +277,10 @@ class PatrolScrubber:
 
         if scanned:
             ftl.latency.scrub_scan(now_ns, scanned)
+            if ftl.sched is not None:
+                ftl.sched.note_background(
+                    "scrub_scan", sb.index, scanned, now_ns
+                )
             ftl.energy.add_reads(scanned)
             ftl.stats.scrub_pages_scanned += scanned
             self.pages_scanned += scanned
@@ -284,6 +288,10 @@ class PatrolScrubber:
         if relocated:
             # The scan charged the read half; relocation adds programs.
             ftl.latency.scrub_relocate(now_ns, relocated)
+            if ftl.sched is not None:
+                ftl.sched.note_background(
+                    "scrub_relocate", sb.index, relocated, now_ns
+                )
             ftl.energy.add_programs(relocated)
             # Scrub writes are media writes: they inflate DLWA exactly
             # like GC migrations, which is the cost the integrity soak
@@ -373,6 +381,10 @@ class PatrolScrubber:
                 drained += 1
         if drained:
             ftl.latency.scrub_relocate(now_ns, drained)
+            if ftl.sched is not None:
+                ftl.sched.note_background(
+                    "scrub_relocate", sb.index, drained, now_ns
+                )
             ftl.energy.add_programs(drained)
             ftl.stats.nand_pages_written += drained
             ftl.stats.scrub_pages_relocated += drained

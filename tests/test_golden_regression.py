@@ -1,11 +1,12 @@
 """Golden-trace regression fixtures for end-to-end run results.
 
-Three small experiment arms are replayed and their complete
-:class:`~repro.bench.metrics.RunResult` — DLWA, ALWA, hit ratios, p99
-latencies, GC activity, energy, the interval-DLWA series — is compared
+Small experiment arms are replayed and their complete result objects —
+DLWA, ALWA, hit ratios, p99 latencies, GC activity, energy, the
+interval-DLWA series, the latency soak's per-queue histogram
+percentiles, and the crash/integrity soak counters — are compared
 field-by-field against committed JSON under ``tests/golden/``.  Any
-behavioural drift in the device model, cache engines, or replay driver
-fails here even when no targeted unit test notices.
+behavioural drift in the device model, cache engines, scheduler, or
+replay driver fails here even when no targeted unit test notices.
 
 Integer fields must match exactly (the simulator is deterministic);
 floats use a 1e-9 relative tolerance so a JSON round-trip never
@@ -25,7 +26,13 @@ from pathlib import Path
 
 import pytest
 
-from repro.bench import Scale, run_experiment
+from repro.bench import (
+    Scale,
+    run_crash_soak,
+    run_experiment,
+    run_integrity_soak,
+    run_latency_soak,
+)
 
 GOLDEN_DIR = Path(__file__).parent / "golden"
 
@@ -71,9 +78,7 @@ def _assert_close(path: str, got, want) -> None:
         assert got == want, f"{path}: drift {got!r} != golden {want!r}"
 
 
-@pytest.mark.parametrize("name", sorted(CONFIGS))
-def test_golden_run_result(name: str, update_golden: bool) -> None:
-    data = dataclasses.asdict(run_config(name))
+def _check_golden(name: str, data: dict, update_golden: bool) -> None:
     path = GOLDEN_DIR / f"{name}.json"
     if update_golden:
         GOLDEN_DIR.mkdir(exist_ok=True)
@@ -83,3 +88,39 @@ def test_golden_run_result(name: str, update_golden: bool) -> None:
         f"missing golden fixture {path}; generate with --update-golden"
     )
     _assert_close(name, data, json.loads(path.read_text()))
+
+
+@pytest.mark.parametrize("name", sorted(CONFIGS))
+def test_golden_run_result(name: str, update_golden: bool) -> None:
+    _check_golden(name, dataclasses.asdict(run_config(name)), update_golden)
+
+
+def test_golden_latency_soak(update_golden: bool) -> None:
+    """Histogram-percentile fixture for the FDP-on/off latency soak.
+
+    Every latency field is a bucket upper bound — a deterministic
+    integer — so this pins the scheduler's timing behaviour (channel
+    contention, GC spans, WRR) exactly, not approximately.  The canned
+    soak is small but past warm-up, so it also locks in the headline
+    direction: FDP-on p99 read below FDP-off.
+    """
+    result = run_latency_soak(num_ops=48_000)
+    assert result.acceptance, result.summary_table()
+    _check_golden("latency_kvcache_util85", result.to_dict(), update_golden)
+
+
+def test_golden_crash_soak(update_golden: bool) -> None:
+    """Counter fixture for the crash soak under its contract seed
+    (``point_seed("crash_soak", 0)`` — the sweep-seed contract, not an
+    ad-hoc global)."""
+    result = run_crash_soak()
+    _check_golden("crash_soak_default", dataclasses.asdict(result),
+                  update_golden)
+
+
+def test_golden_integrity_soak(update_golden: bool) -> None:
+    """Counter fixture for the integrity soak under its contract seed
+    (``point_seed("integrity_soak", 0)``)."""
+    result = run_integrity_soak()
+    _check_golden("integrity_soak_default", dataclasses.asdict(result),
+                  update_golden)
