@@ -18,6 +18,8 @@ Public API tour:
 * :mod:`repro.faults` — deterministic media-fault injection (UECC,
   program/erase failures, block retirement, SMART-like health log).
 * :mod:`repro.model` — Theorem 1 (DLWA) and Theorems 2-3 (carbon).
+* :mod:`repro.fleet` — sharded cache cluster: consistent-hash routing,
+  shard lifecycle, failure/rebalance, fleet-merged observability.
 
 Quick start::
 
@@ -27,7 +29,7 @@ Quick start::
     print(result.summary_row())
 """
 
-from . import bench, cache, core, faults, fdp, model, ssd, workloads
+from . import bench, cache, core, faults, fdp, fleet, model, ssd, workloads
 
 __version__ = "1.0.0"
 
@@ -37,6 +39,7 @@ __all__ = [
     "core",
     "faults",
     "fdp",
+    "fleet",
     "model",
     "ssd",
     "workloads",

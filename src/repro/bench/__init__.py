@@ -5,6 +5,8 @@ from .driver import CacheBench, ReplayConfig
 from .latency import LATENCY_SCALE, run_latency_soak
 from .metrics import (
     CrashSoakResult,
+    FleetSoakResult,
+    FleetWindow,
     IntegritySoakResult,
     IntervalPoint,
     LatencyArm,
@@ -12,7 +14,14 @@ from .metrics import (
     LatencySoakResult,
     RunResult,
 )
-from .parallel import SweepPoint, point_seed, run_sweep, smoke_points
+from .parallel import (
+    PointFailure,
+    SweepError,
+    SweepPoint,
+    point_seed,
+    run_sweep,
+    smoke_points,
+)
 from .plotting import ascii_chart, dlwa_timeline_chart
 from .runner import (
     CHAOS_SCALE,
@@ -29,6 +38,26 @@ from .runner import (
     run_experiment,
     run_integrity_soak,
 )
+
+# The fleet harness exports resolve lazily (PEP 562): repro.bench.fleet
+# imports repro.fleet, whose shard builder re-enters repro.bench.runner,
+# so an eager import here would both risk a cycle and trigger the
+# runpy double-execution warning under `python -m repro.bench.fleet`.
+_FLEET_EXPORTS = (
+    "FLEET_SCALE",
+    "SMOKE_SCALE",
+    "default_fleet_specs",
+    "run_fleet_soak",
+)
+
+
+def __getattr__(name):
+    if name in _FLEET_EXPORTS:
+        from . import fleet as _fleet
+
+        return getattr(_fleet, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "CacheBench",
@@ -58,7 +87,15 @@ __all__ = [
     "default_integrity_latent",
     "run_integrity_soak",
     "SweepPoint",
+    "PointFailure",
+    "SweepError",
     "point_seed",
     "run_sweep",
     "smoke_points",
+    "FleetWindow",
+    "FleetSoakResult",
+    "FLEET_SCALE",
+    "SMOKE_SCALE",
+    "default_fleet_specs",
+    "run_fleet_soak",
 ]

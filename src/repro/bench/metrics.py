@@ -21,6 +21,8 @@ __all__ = [
     "IntegritySoakResult",
     "LatencyArm",
     "LatencySoakResult",
+    "FleetWindow",
+    "FleetSoakResult",
 ]
 
 
@@ -337,6 +339,180 @@ class LatencySoakResult:
             f"p99 read gain (off/on): {self.p99_read_gain:5.2f}x  "
             f"acceptance(p99_on < p99_off @ util>=70%): "
             f"{'PASS' if self.acceptance else 'FAIL'}",
+        ]
+        return "\n".join(lines)
+
+
+@dataclasses.dataclass(frozen=True)
+class FleetWindow:
+    """Fleet service quality over one measurement window of the soak.
+
+    The soak compares three windows — ``pre`` (steady state before the
+    shard loss), ``spike`` (immediately after it), and ``recovered``
+    (the end of the run) — on the two headline signals: miss ratio and
+    the fleet-merged p99 read latency.
+    """
+
+    name: str
+    ops: int
+    gets: int
+    misses: int
+    storm_misses: int
+    degraded_misses: int
+    read_p99_ns: int
+    live_shards: int
+
+    @property
+    def miss_ratio(self) -> float:
+        return self.misses / self.gets if self.gets else 0.0
+
+    def summary_row(self) -> str:
+        return (
+            f"{self.name:<10} {self.ops:>8} {self.miss_ratio:>7.3f} "
+            f"{self.read_p99_ns / 1000:>10.0f} {self.storm_misses:>7} "
+            f"{self.degraded_misses:>9} {self.live_shards:>6}"
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass(frozen=True)
+class FleetSoakResult:
+    """Verdict of the fleet shard-loss soak.
+
+    Robustness acceptance: after a mid-run shard kill the surviving
+    fleet must (a) hold exactly-once placement — zero misplaced,
+    duplicated, or shadow-mismatched keys among survivors — and (b)
+    recover service quality, with the ``recovered`` window's miss
+    ratio and merged p99 read latency within ``tolerance`` of the
+    pre-kill steady state.
+
+    The steady state is estimated differentially: ``control`` is the
+    same window of an identical fleet replaying the identical trace
+    *without* the kill — the counterfactual "what would service look
+    like now had the shard survived".  A single pre-kill window cannot
+    serve as the baseline because per-window p99 carries ±20% GC-burst
+    noise even on an undisturbed fleet (measured; see
+    EXPERIMENTS.md); the paired control cancels that drift, the same
+    differential-arm methodology the repo's batch and latency tests
+    use.  The raw ``pre`` window is still reported for the spike
+    narrative.
+    """
+
+    num_shards: int
+    mix: str
+    ops: int
+    seed: int
+    killed_shard: str
+    kill_at_ops: int
+    pre: FleetWindow
+    spike: FleetWindow
+    recovered: FleetWindow
+    control: FleetWindow
+    tolerance: float
+    # Exactly-once verification (FleetCache.verify_placement).
+    keys_resident: int
+    misplaced: int
+    duplicates: int
+    shadow_mismatches: int
+    # Rebalance / degradation accounting.
+    rebalance_moved_items: int
+    storm_misses_total: int
+    degraded_misses_total: int
+    dropped_sets: int
+    retries: int
+    transitions: List[dict]
+    # Fleet-aggregate observability.
+    fleet_dlwa: float
+    energy_kwh: float
+    co2e_kg: float
+    shard_rows: List[dict]
+
+    @property
+    def placement_clean(self) -> bool:
+        """No key lost to routing, resident twice, or shadow-divergent."""
+        return (
+            self.misplaced == 0
+            and self.duplicates == 0
+            and self.shadow_mismatches == 0
+        )
+
+    @staticmethod
+    def _within(after: float, before: float, tolerance: float) -> bool:
+        """``after`` no worse than ``before`` by more than ``tolerance``.
+
+        One-sided: recovering *better* than the pre-kill baseline (a
+        smaller fleet can run hotter caches per shard) always passes.
+        """
+        if before == 0:
+            return after == 0
+        return after <= before * (1.0 + tolerance)
+
+    @property
+    def miss_ratio_recovered(self) -> bool:
+        return self._within(
+            self.recovered.miss_ratio,
+            self.control.miss_ratio,
+            self.tolerance,
+        )
+
+    @property
+    def p99_recovered(self) -> bool:
+        return self._within(
+            float(self.recovered.read_p99_ns),
+            float(self.control.read_p99_ns),
+            self.tolerance,
+        )
+
+    @property
+    def acceptance(self) -> bool:
+        return (
+            self.placement_clean
+            and self.miss_ratio_recovered
+            and self.p99_recovered
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        out = dataclasses.asdict(self)
+        out["pre"] = self.pre.to_dict()
+        out["spike"] = self.spike.to_dict()
+        out["recovered"] = self.recovered.to_dict()
+        out["control"] = self.control.to_dict()
+        out["acceptance"] = self.acceptance
+        return out
+
+    def summary_table(self) -> str:
+        header = (
+            f"{'window':<10} {'ops':>8} {'miss':>7} {'p99(us)':>10} "
+            f"{'storm':>7} {'degraded':>9} {'alive':>6}"
+        )
+        lines = [
+            f"fleet-soak shards={self.num_shards} mix={self.mix} "
+            f"ops={self.ops} seed={self.seed:#x}",
+            f"killed {self.killed_shard} at op {self.kill_at_ops}; "
+            f"rebalanced {self.rebalance_moved_items} items; "
+            f"{self.storm_misses_total} storm misses",
+            header,
+            self.pre.summary_row(),
+            self.spike.summary_row(),
+            self.recovered.summary_row(),
+            self.control.summary_row(),
+            f"placement: resident={self.keys_resident} "
+            f"misplaced={self.misplaced} duplicates={self.duplicates} "
+            f"shadow_mismatch={self.shadow_mismatches} "
+            f"[{'clean' if self.placement_clean else 'VIOLATED'}]",
+            f"recovery vs no-kill control (tol {self.tolerance:.0%}): "
+            f"miss {'PASS' if self.miss_ratio_recovered else 'FAIL'} "
+            f"({self.recovered.miss_ratio:.3f} vs "
+            f"{self.control.miss_ratio:.3f}), "
+            f"p99 {'PASS' if self.p99_recovered else 'FAIL'} "
+            f"({self.recovered.read_p99_ns / 1000:.0f}us vs "
+            f"{self.control.read_p99_ns / 1000:.0f}us)",
+            f"fleet dlwa={self.fleet_dlwa:.2f} "
+            f"energy={self.energy_kwh * 1000:.2f}Wh "
+            f"co2e={self.co2e_kg:.2f}kg  "
+            f"acceptance: {'PASS' if self.acceptance else 'FAIL'}",
         ]
         return "\n".join(lines)
 

@@ -27,19 +27,38 @@ figure name and point index alone, so:
 Workers receive :class:`SweepPoint` descriptors (cheap, picklable) and
 build the device/cache/trace locally — RunResults travel back, devices
 never do.
+
+Failure isolation
+-----------------
+A point that raises no longer aborts the sweep with a bare pool
+traceback: workers catch the exception, ship back a picklable
+:class:`PointFailure`, and the sweep completes every remaining point.
+``on_error="raise"`` (the default) then raises one aggregated
+:class:`SweepError` carrying the failures *and* the completed results;
+``on_error="record"`` returns the failures in the result list at their
+point's position.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import os
+import traceback as _traceback
 from concurrent.futures import ProcessPoolExecutor
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Union
 
 from .metrics import RunResult
 from .runner import Scale, point_seed, run_experiment
 
-__all__ = ["SweepPoint", "point_seed", "run_sweep", "smoke_points", "main"]
+__all__ = [
+    "SweepPoint",
+    "PointFailure",
+    "SweepError",
+    "point_seed",
+    "run_sweep",
+    "smoke_points",
+    "main",
+]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -66,16 +85,72 @@ class SweepPoint:
         return run_experiment(self.workload, **kwargs)
 
 
-def _run_point(point: SweepPoint) -> RunResult:
+@dataclasses.dataclass(frozen=True)
+class PointFailure:
+    """A sweep point that raised, reduced to picklable strings.
+
+    Exceptions themselves may not unpickle cleanly across the process
+    boundary (custom ``__init__`` signatures, attached devices), so the
+    worker flattens type/message/traceback before shipping it back.
+    """
+
+    figure: str
+    index: int
+    name: str
+    error_type: str
+    message: str
+    traceback: str
+
+    def summary_row(self) -> str:
+        return f"{self.name}: {self.error_type}: {self.message}"
+
+
+class SweepError(Exception):
+    """One or more sweep points failed (the rest completed).
+
+    ``failures`` holds the :class:`PointFailure` records; ``results``
+    holds the full in-order result list with failures at their point's
+    position, so callers can still salvage the completed points.
+    """
+
+    def __init__(
+        self,
+        failures: List[PointFailure],
+        results: List[Union[RunResult, PointFailure]],
+    ) -> None:
+        rows = "; ".join(f.summary_row() for f in failures)
+        super().__init__(
+            f"{len(failures)}/{len(results)} sweep points failed: {rows}"
+        )
+        self.failures = failures
+        self.results = results
+
+
+def _run_point(point: SweepPoint) -> Union[RunResult, PointFailure]:
     # Module-level so ProcessPoolExecutor can pickle it by reference.
-    return point.run()
+    # Failures come back as data, never as a raw exception unwinding
+    # the pool (which would abort the whole sweep mid-flight).
+    try:
+        return point.run()
+    except Exception as exc:
+        return PointFailure(
+            figure=point.figure,
+            index=point.index,
+            name=str(
+                point.kwargs.get("name", f"{point.figure}[{point.index}]")
+            ),
+            error_type=type(exc).__name__,
+            message=str(exc),
+            traceback=_traceback.format_exc(),
+        )
 
 
 def run_sweep(
     points: Iterable[SweepPoint],
     *,
     workers: Optional[int] = None,
-) -> List[RunResult]:
+    on_error: str = "raise",
+) -> List[Union[RunResult, PointFailure]]:
     """Run sweep points across worker processes; results in point order.
 
     ``workers=None`` uses the CPU count; ``workers <= 1`` (or a
@@ -83,7 +158,15 @@ def run_sweep(
     determinism contract guarantees is indistinguishable from the
     parallel path — tests/test_parallel_sweep.py asserts RunResult
     equality between the two.
+
+    Every point runs to completion even if some fail.  With
+    ``on_error="raise"`` (default) a :class:`SweepError` aggregating
+    the failures is raised *after* the sweep finishes; with
+    ``on_error="record"`` the :class:`PointFailure` records are
+    returned in place of their points' results.
     """
+    if on_error not in ("raise", "record"):
+        raise ValueError("on_error must be 'raise' or 'record'")
     points = list(points)
     if not points:
         return []
@@ -91,9 +174,14 @@ def run_sweep(
         workers = os.cpu_count() or 1
     workers = min(workers, len(points))
     if workers <= 1:
-        return [_run_point(p) for p in points]
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(_run_point, points))
+        results = [_run_point(p) for p in points]
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            results = list(pool.map(_run_point, points))
+    failures = [r for r in results if isinstance(r, PointFailure)]
+    if failures and on_error == "raise":
+        raise SweepError(failures, results)
+    return results
 
 
 # Smoke points shrink the device (64 MiB physical) and the trace so one

@@ -63,6 +63,10 @@ class DramCache:
         size = self._items.get(key)
         return None if size is None else CacheItem(key, size)
 
+    def resident_items(self) -> dict:
+        """key → size snapshot (non-mutating; no LRU effects)."""
+        return dict(self._items)
+
     def set(self, item: CacheItem) -> List[CacheItem]:
         """Insert/overwrite; returns the items evicted to make room."""
         charged = self._charged(item.size)

@@ -295,6 +295,31 @@ class HybridCache:
         return done
 
     # ------------------------------------------------------------------
+    # non-mutating introspection (fleet placement audits)
+    # ------------------------------------------------------------------
+
+    def contains(self, key: int) -> bool:
+        """Membership across all layers — no I/O, no LRU promotion."""
+        return (
+            key in self.dram
+            or self.soc.contains(key)
+            or self.loc.contains(key)
+        )
+
+    def resident_items(self) -> dict:
+        """key → logical size of everything resident in any layer.
+
+        Pure index walk: charges no device I/O and mutates no recency
+        state, so it is safe mid-run.  Where a key is resident in
+        multiple layers the freshest copy wins (DRAM over SOC over
+        LOC), matching lookup order.
+        """
+        out = self.loc.resident_items()
+        out.update(self.soc.resident_items())
+        out.update(self.dram.resident_items())
+        return out
+
+    # ------------------------------------------------------------------
     # warm restart
     # ------------------------------------------------------------------
 

@@ -137,6 +137,15 @@ class KangarooCache:
     def contains(self, key: int) -> bool:
         return key in self._log_index or self.sets.contains(key)
 
+    def resident_items(self) -> Dict[int, int]:
+        """key → logical size across the log and the backing sets."""
+        out = self.sets.resident_items()
+        for page, items in enumerate(self._log_pages):
+            for item in items:
+                if self._log_index.get(item.key) == page:
+                    out[item.key] = item.size
+        return out
+
     @property
     def footprint_pages(self) -> int:
         return self.num_log_pages + self.sets.footprint_pages

@@ -153,6 +153,10 @@ class LargeObjectCache:
         """Ground-truth membership (no I/O charged)."""
         return key in self.index
 
+    def resident_items(self) -> Dict[int, int]:
+        """key → logical size snapshot of the index (no I/O)."""
+        return {key: size for key, (_rid, size) in self.index.items()}
+
     # ------------------------------------------------------------------
 
     def _flush_open(self, now_ns: int) -> int:

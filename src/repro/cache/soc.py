@@ -134,6 +134,14 @@ class SmallObjectCache:
         """Ground-truth membership (no I/O charged; used internally)."""
         return key in self._buckets[self.bucket_of(key)]
 
+    def resident_items(self) -> Dict[int, int]:
+        """key → logical size snapshot across all buckets (no I/O)."""
+        out: Dict[int, int] = {}
+        for entries in self._buckets:
+            for key, nbytes in entries.items():
+                out[key] = nbytes - ITEM_HEADER_BYTES
+        return out
+
     # ------------------------------------------------------------------
 
     def _drop_bucket(self, bucket: int) -> int:

@@ -1,0 +1,72 @@
+"""Fleet-level error taxonomy.
+
+The single-device stack raises device-shaped exceptions —
+:class:`~repro.ssd.errors.MediaError` subclasses for NAND failures,
+:class:`~repro.ssd.errors.PowerLossError` /
+:class:`~repro.ssd.errors.DeviceOfflineError` for power events,
+:class:`~repro.ssd.errors.QueueFullError` for submission backpressure.
+None of those name *which device* failed, which is the first thing a
+fleet operator needs; and letting them leak through the router would
+couple every fleet caller to the device-internal exception hierarchy.
+
+The shard layer therefore translates every device-unavailability
+exception into one typed :class:`ShardUnavailableError` carrying the
+originating shard id, the operation, and the original exception as
+``cause`` (also chained via ``raise ... from``).  Fleet APIs raise
+only :class:`FleetError` subclasses; seeing a bare ``SsdError`` escape
+:mod:`repro.fleet` is a bug.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["FleetError", "ShardUnavailableError", "SHARD_UNAVAILABLE_CAUSES"]
+
+
+class FleetError(Exception):
+    """Base class for fleet-layer errors."""
+
+
+class ShardUnavailableError(FleetError):
+    """One shard could not serve an operation.
+
+    Raised by :class:`~repro.fleet.shard.CacheShard` when its backing
+    device throws an unavailability-class exception, and by the shard
+    itself once it is DEAD.  The router catches this class — and only
+    this class — to drive retries, circuit breakers, and degraded
+    (miss-instead-of-error) service.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        shard_id: str,
+        op: str = "",
+        cause: Optional[BaseException] = None,
+    ) -> None:
+        super().__init__(message)
+        self.shard_id = shard_id
+        self.op = op
+        self.cause = cause
+
+
+def _unavailable_causes():
+    # Imported lazily-at-module-load to keep this module at the leaf of
+    # the fleet import graph (mirrors repro.faults.errors re-exporting
+    # repro.ssd.errors).
+    from ..ssd.errors import (
+        DeviceOfflineError,
+        MediaError,
+        PowerLossError,
+        QueueFullError,
+    )
+
+    return (MediaError, PowerLossError, DeviceOfflineError, QueueFullError)
+
+
+#: Device exception classes the shard layer translates into
+#: :class:`ShardUnavailableError`.  Everything else (capacity / range /
+#: placement misconfiguration) is a programming error and propagates.
+SHARD_UNAVAILABLE_CAUSES = _unavailable_causes()

@@ -1,0 +1,136 @@
+"""Consistent-hash routing across cache shards.
+
+The fleet's placement function: every key maps to exactly one shard,
+the mapping is a pure function of ``(ring seed, membership)`` — never
+of insertion order, dict iteration, or process — and membership
+changes move the minimum possible set of keys:
+
+* **removal** of one shard moves *only* the keys that shard owned
+  (every other key keeps its owner — the bounded-movement invariant
+  tests/test_fleet_hashring.py proves with Hypothesis);
+* **addition** of one shard steals keys only for the vnode arcs it
+  claims, ~``K/N`` of the keyspace in expectation.
+
+Hashing is SHA-256 (first 8 bytes), the same primitive as the bench
+harness's ``point_seed`` contract, so routing is stable across runs,
+machines, and worker schedules — a requirement for the fleet driver's
+partitioned parallel replay to be deterministic.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterable, List, Tuple
+
+__all__ = ["ConsistentHashRouter"]
+
+
+def _h64(data: str) -> int:
+    """First 8 bytes of sha256 as an unsigned 64-bit ring position."""
+    return int.from_bytes(
+        hashlib.sha256(data.encode("utf-8")).digest()[:8], "big"
+    )
+
+
+class ConsistentHashRouter:
+    """A classic virtual-node consistent-hash ring over shard ids.
+
+    Parameters
+    ----------
+    shard_ids:
+        Initial membership (order-insensitive; the ring sorts points).
+    vnodes:
+        Virtual nodes per shard.  More vnodes → more uniform ownership
+        arcs (64 keeps the max/mean ownership skew small while the
+        ring stays tiny).
+    seed:
+        Namespaces every hash, so two fleets with the same shard names
+        but different seeds route independently.
+    """
+
+    def __init__(
+        self,
+        shard_ids: Iterable[str] = (),
+        *,
+        vnodes: int = 64,
+        seed: int = 0,
+    ) -> None:
+        if vnodes <= 0:
+            raise ValueError("vnodes must be positive")
+        self.vnodes = vnodes
+        self.seed = seed
+        self._members: List[str] = []
+        self._points: List[Tuple[int, str]] = []
+        self._keys: List[int] = []  # bisect view of _points
+        for shard_id in shard_ids:
+            self.add_shard(shard_id)
+
+    # ------------------------------------------------------------------
+
+    def _vnode_points(self, shard_id: str) -> List[Tuple[int, str]]:
+        return [
+            (_h64(f"{self.seed}:vnode:{shard_id}:{replica}"), shard_id)
+            for replica in range(self.vnodes)
+        ]
+
+    def _rebuild(self) -> None:
+        points: List[Tuple[int, str]] = []
+        for shard_id in self._members:
+            points.extend(self._vnode_points(shard_id))
+        points.sort()
+        self._points = points
+        self._keys = [p for p, _ in points]
+
+    # ------------------------------------------------------------------
+
+    def add_shard(self, shard_id: str) -> None:
+        if not shard_id:
+            raise ValueError("shard_id must be non-empty")
+        if shard_id in self._members:
+            raise ValueError(f"shard {shard_id!r} already in the ring")
+        self._members.append(shard_id)
+        self._members.sort()  # membership order never affects routing
+        self._rebuild()
+
+    def remove_shard(self, shard_id: str) -> None:
+        try:
+            self._members.remove(shard_id)
+        except ValueError:
+            raise KeyError(f"shard {shard_id!r} not in the ring") from None
+        self._rebuild()
+
+    # ------------------------------------------------------------------
+
+    def route(self, key: int) -> str:
+        """The shard owning ``key`` (successor vnode on the ring)."""
+        if not self._points:
+            raise KeyError("the ring is empty")
+        h = _h64(f"{self.seed}:key:{key}")
+        idx = bisect.bisect_right(self._keys, h)
+        if idx == len(self._points):  # wrap past the top of the ring
+            idx = 0
+        return self._points[idx][1]
+
+    def route_many(self, keys: Iterable[int]) -> List[str]:
+        return [self.route(int(k)) for k in keys]
+
+    # ------------------------------------------------------------------
+
+    @property
+    def shard_ids(self) -> Tuple[str, ...]:
+        """Current membership, sorted."""
+        return tuple(self._members)
+
+    def __contains__(self, shard_id: str) -> bool:
+        return shard_id in self._members
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def ownership_histogram(self, keys: Iterable[int]) -> dict:
+        """Keys per shard for a sample — skew diagnostics for tools."""
+        counts = {shard_id: 0 for shard_id in self._members}
+        for key in keys:
+            counts[self.route(int(key))] += 1
+        return counts

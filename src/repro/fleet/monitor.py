@@ -1,0 +1,203 @@
+"""Fleet health monitoring: SMART pages drive the shard lifecycle.
+
+:class:`FleetHealthMonitor` is the control loop between PR 1's device
+health telemetry and the router's membership operations.  Every
+``poll_interval_ops`` fleet operations it reads each live shard's
+SMART health page (:class:`~repro.faults.model.HealthLogPage`) and
+walks the lifecycle state machine:
+
+* ``HEALTHY → DEGRADED`` when spare capacity falls below
+  ``degraded_spare_pct`` or media errors exceed
+  ``degraded_media_errors`` — a warning state, the shard still serves;
+* ``DEGRADED → RETIRING → DEAD`` when spare drops below
+  ``retire_spare_pct`` or wear passes ``retire_percent_used`` — the
+  monitor asks the router to *retire* the shard, which drains its
+  contents onto survivors before powering it off (planned data
+  movement, not data loss).
+
+Scripted failures ride the same loop: a :class:`ShardFailurePlan`
+(the :class:`~repro.faults.model.FaultPlan` idiom, op-indexed and
+fully deterministic) injects ``kill`` / ``retire`` events at exact op
+counts, which is how the fleet soak stages its mid-run shard loss.
+Everything is driven by op counts, never wall-clock time.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING, Iterable, List, Optional
+
+__all__ = [
+    "MonitorConfig",
+    "ScriptedShardEvent",
+    "ShardFailurePlan",
+    "FleetHealthMonitor",
+]
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from .router import FleetCache
+
+
+@dataclasses.dataclass(frozen=True)
+class MonitorConfig:
+    """Thresholds for the health-driven lifecycle transitions."""
+
+    poll_interval_ops: int = 2000
+    degraded_spare_pct: float = 70.0
+    retire_spare_pct: float = 40.0
+    degraded_media_errors: int = 50
+    retire_percent_used: float = 90.0
+
+    def __post_init__(self) -> None:
+        if self.poll_interval_ops < 1:
+            raise ValueError("poll_interval_ops must be positive")
+        if not 0.0 <= self.retire_spare_pct <= self.degraded_spare_pct:
+            raise ValueError(
+                "need 0 <= retire_spare_pct <= degraded_spare_pct"
+            )
+
+
+@dataclasses.dataclass(frozen=True)
+class ScriptedShardEvent:
+    """One deterministic membership event: at ``op_index``, do this."""
+
+    op_index: int
+    shard_id: str
+    action: str = "kill"  # "kill" (no drain) or "retire" (drained)
+
+    def __post_init__(self) -> None:
+        if self.action not in ("kill", "retire"):
+            raise ValueError(f"unknown action {self.action!r}")
+        if self.op_index < 0:
+            raise ValueError("op_index must be non-negative")
+
+
+class ShardFailurePlan:
+    """An op-indexed schedule of scripted shard events (fires once each)."""
+
+    def __init__(self, events: Iterable[ScriptedShardEvent] = ()) -> None:
+        self.events: List[ScriptedShardEvent] = sorted(
+            events, key=lambda e: (e.op_index, e.shard_id)
+        )
+        self._next = 0
+
+    def due(self, ops_done: int) -> List[ScriptedShardEvent]:
+        """Events whose op_index has been reached and not yet fired."""
+        due: List[ScriptedShardEvent] = []
+        while (
+            self._next < len(self.events)
+            and self.events[self._next].op_index <= ops_done
+        ):
+            due.append(self.events[self._next])
+            self._next += 1
+        return due
+
+    @property
+    def exhausted(self) -> bool:
+        return self._next >= len(self.events)
+
+
+class FleetHealthMonitor:
+    """Polls shard health pages and executes lifecycle transitions."""
+
+    def __init__(
+        self,
+        fleet: "FleetCache",
+        config: Optional[MonitorConfig] = None,
+        plan: Iterable[ScriptedShardEvent] = (),
+    ) -> None:
+        self.fleet = fleet
+        self.config = config or MonitorConfig()
+        self.plan = (
+            plan if isinstance(plan, ShardFailurePlan)
+            else ShardFailurePlan(plan)
+        )
+        self.polls = 0
+        self.transitions: List[dict] = []
+        self._last_poll_ops = 0
+
+    # ------------------------------------------------------------------
+
+    def _fire_scripted(self, ops_done: int) -> List[dict]:
+        fired: List[dict] = []
+        for event in self.plan.due(ops_done):
+            shard = self.fleet.shards.get(event.shard_id)
+            if shard is None or not shard.alive:
+                continue  # already gone; the event is moot
+            if event.action == "kill":
+                record = self.fleet.kill_shard(
+                    event.shard_id, reason="scripted"
+                )
+            else:
+                record = self.fleet.retire_shard(
+                    event.shard_id, reason="scripted"
+                )
+            fired.append({**record, "ops_done": ops_done})
+        return fired
+
+    def _poll_health(self, ops_done: int) -> List[dict]:
+        from .shard import ShardState
+
+        cfg = self.config
+        fired: List[dict] = []
+        for shard_id in sorted(self.fleet.shards):
+            shard = self.fleet.shards[shard_id]
+            if not shard.alive:
+                continue
+            page = shard.health()
+            if page is None:  # backend without SMART (ZNS) — skip
+                continue
+            retire = (
+                page.available_spare_pct < cfg.retire_spare_pct
+                or page.percent_used >= cfg.retire_percent_used
+                or not page.healthy
+            )
+            if retire and shard.state is not ShardState.RETIRING:
+                record = self.fleet.retire_shard(shard_id, reason="health")
+                fired.append(
+                    {
+                        **record,
+                        "ops_done": ops_done,
+                        "spare_pct": page.available_spare_pct,
+                        "percent_used": page.percent_used,
+                    }
+                )
+                continue
+            degrade = (
+                page.available_spare_pct < cfg.degraded_spare_pct
+                or page.media_errors > cfg.degraded_media_errors
+            )
+            if degrade and shard.state is ShardState.HEALTHY:
+                shard.mark_degraded()
+                fired.append(
+                    {
+                        "event": "degrade",
+                        "shard_id": shard_id,
+                        "reason": "health",
+                        "ops_done": ops_done,
+                        "spare_pct": page.available_spare_pct,
+                        "media_errors": page.media_errors,
+                    }
+                )
+        return fired
+
+    # ------------------------------------------------------------------
+
+    def observe(self, ops_done: int) -> List[dict]:
+        """Advance the monitor to ``ops_done`` fleet operations.
+
+        Scripted events fire at their exact op index (checked every
+        call — precision matters for reproducing the soak's kill
+        point); health pages are polled only every
+        ``poll_interval_ops`` (they are comparatively expensive and
+        drift slowly).  Returns the transitions executed, which are
+        also appended to :attr:`transitions`.
+        """
+        fired = self._fire_scripted(ops_done)
+        if ops_done - self._last_poll_ops >= self.config.poll_interval_ops:
+            self._last_poll_ops = ops_done
+            self.polls += 1
+            fired.extend(self._poll_health(ops_done))
+        if fired:
+            self.transitions.extend(fired)
+        return fired

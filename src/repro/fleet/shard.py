@@ -1,0 +1,453 @@
+"""One cache shard: a device + cache pair behind a uniform fleet API.
+
+A shard owns exactly one backing store and exposes the key/value
+surface the router speaks (``get`` / ``set`` / ``delete`` plus
+introspection), a lifecycle state machine, and the fleet error
+taxonomy: every device-unavailability exception is translated into
+:class:`~repro.fleet.errors.ShardUnavailableError` tagged with the
+shard id, so device exceptions never leak through fleet APIs.
+
+Three backends hide heterogeneous device generations behind the same
+interface ("How to Write to SSDs"'s device mix, ROADMAP's FDP /
+non-FDP / ZNS requirement):
+
+* ``fdp`` — :class:`~repro.cache.hybrid.HybridCache` over an
+  FDP-enabled :class:`~repro.ssd.device.SimulatedSSD`;
+* ``nonfdp`` — the same hybrid cache with placement off (mixed
+  superblocks, the paper's baseline);
+* ``zns`` — a tiny-object log store over
+  :class:`~repro.ssd.zns.ZonedSSD` (host-GC'd appends, one page per
+  object) with FIFO host-side eviction bolted on so it behaves as a
+  cache rather than a store.
+
+Lifecycle: ``HEALTHY → DEGRADED → RETIRING → DEAD``.  HEALTHY/DEGRADED
+shards serve traffic (DEGRADED is a health-monitor warning state);
+RETIRING shards serve reads while the router drains their contents to
+survivors; DEAD shards raise :class:`ShardUnavailableError` on every
+operation and their device is powered off.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
+
+from ..cache.hybrid import HIT_DRAM, MISS, HybridCache
+from ..ssd.zns import ZnsHostLog, ZonedSSD
+from .errors import SHARD_UNAVAILABLE_CAUSES, ShardUnavailableError
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from ..bench.runner import Scale
+    from ..faults.model import FaultConfig, HealthLogPage
+    from ..ssd.sched import LatencyHistogram
+
+__all__ = ["ShardState", "ShardSpec", "CacheShard", "BACKENDS"]
+
+BACKENDS = ("fdp", "nonfdp", "zns")
+
+
+class ShardState(enum.Enum):
+    HEALTHY = "healthy"
+    DEGRADED = "degraded"
+    RETIRING = "retiring"
+    DEAD = "dead"
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardSpec:
+    """Picklable recipe for one shard.
+
+    Workers of the partitioned parallel replay receive specs (not live
+    shards — devices never cross process boundaries, mirroring
+    :mod:`repro.bench.parallel`'s SweepPoint contract) and build the
+    shard locally via :meth:`build`.
+    """
+
+    shard_id: str
+    backend: str = "fdp"
+    utilization: float = 0.9
+    scale: Optional["Scale"] = None
+    faults: Optional["FaultConfig"] = None
+    sched: bool = True
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; choose from {BACKENDS}"
+            )
+        if not self.shard_id:
+            raise ValueError("shard_id must be non-empty")
+
+    def build(self) -> "CacheShard":
+        # Imported here, not at module level: repro.bench imports
+        # repro.fleet (the fleet soak lives in repro.bench.fleet), so a
+        # top-level import back into repro.bench.runner would be
+        # circular.
+        from ..bench.runner import DEFAULT_SCALE, build_experiment
+
+        scale = self.scale or DEFAULT_SCALE
+        if self.backend == "zns":
+            return CacheShard(
+                self.shard_id, _ZnsBackend(scale, self.utilization), self
+            )
+        cache = build_experiment(
+            fdp=self.backend == "fdp",
+            utilization=self.utilization,
+            scale=scale,
+            faults=self.faults,
+            sched=True if self.sched else None,
+        )
+        return CacheShard(self.shard_id, _HybridBackend(cache), self)
+
+
+# ----------------------------------------------------------------------
+# backends
+# ----------------------------------------------------------------------
+
+
+class _HybridBackend:
+    """HybridCache-backed shard storage (FDP or non-FDP)."""
+
+    kind = "hybrid"
+
+    def __init__(self, cache: HybridCache) -> None:
+        self.cache = cache
+
+    def get(self, key: int, now_ns: int) -> Tuple[bool, str, int]:
+        result = self.cache.get(key, now_ns)
+        return result.hit, result.where, result.completion_ns
+
+    def set(self, key: int, size: int, now_ns: int) -> int:
+        return self.cache.set(key, size, now_ns)
+
+    def delete(self, key: int, now_ns: int) -> int:
+        return self.cache.delete(key, now_ns)
+
+    def contains(self, key: int) -> bool:
+        return self.cache.contains(key)
+
+    def resident_items(self) -> Dict[int, int]:
+        return self.cache.resident_items()
+
+    def health(self) -> Optional["HealthLogPage"]:
+        return self.cache.device.get_health_log()
+
+    def busy_until(self) -> Optional[int]:
+        return self.cache.device.ftl.latency.busy_until
+
+    def power_off(self, now_ns: int) -> None:
+        if not self.cache.device.powered_off:
+            self.cache.device.power_cut(None)
+
+    def merged_histogram(self, op: str) -> Optional["LatencyHistogram"]:
+        sched = self.cache.device.scheduler
+        return None if sched is None else sched.merged_histogram(op)
+
+    def clear_histograms(self) -> None:
+        sched = self.cache.device.scheduler
+        if sched is not None:
+            sched.clear_histograms()
+
+    def page_counters(self) -> Tuple[int, int]:
+        s = self.cache.device.stats
+        return s.host_pages_written, s.nand_pages_written
+
+    @property
+    def dlwa(self) -> float:
+        return self.cache.device.dlwa
+
+    def energy_kwh(self) -> float:
+        return self.cache.device.energy_kwh()
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.cache.device.capacity_bytes
+
+    def stats_dict(self) -> dict:
+        return self.cache.stats_dict()
+
+
+class _ZnsBackend:
+    """ZNS shard storage: a host-GC'd append log with FIFO eviction.
+
+    Objects are one page each (a Nemo-style tiny-object engine); the
+    backend evicts the oldest keys when the zoned store cannot reclaim
+    space, which is the host-side work FDP devices avoid.  ``dlwa``
+    reports the host WAF — ZNS's directly comparable amplification
+    metric, since the device itself never relocates data.
+    """
+
+    kind = "zns"
+
+    # Evict this fraction of resident keys when the store is full.
+    _EVICT_FRACTION = 8
+
+    def __init__(self, scale: "Scale", utilization: float) -> None:
+        geometry = scale.geometry()
+        self.device = ZonedSSD(geometry)
+        self.log = ZnsHostLog(self.device)
+        total_pages = self.device.num_zones * self.device.zone_pages
+        # Live-key budget: mirror the hybrid arms' utilization knob and
+        # leave the host GC reclaimable headroom on top.
+        self.max_live = max(16, int(total_pages * utilization * 0.7))
+        self._fifo: Dict[int, None] = {}  # insertion-ordered key set
+        self.hits = 0
+        self.lookups = 0
+        self.evicted_items = 0
+
+    def _evict(self, count: int) -> None:
+        for key in list(self._fifo)[:count]:
+            del self._fifo[key]
+            self.log.delete(key)
+            self.evicted_items += 1
+
+    def get(self, key: int, now_ns: int) -> Tuple[bool, str, int]:
+        self.lookups += 1
+        hit, done = self.log.get(key, now_ns)
+        if hit:
+            self.hits += 1
+            self._fifo.pop(key, None)
+            self._fifo[key] = None  # refresh FIFO position on hit
+            return True, "zns", done
+        return False, MISS, done
+
+    def set(self, key: int, size: int, now_ns: int) -> int:
+        if len(self._fifo) >= self.max_live:
+            self._evict(max(1, self.max_live // self._EVICT_FRACTION))
+        from ..ssd.errors import DeviceFullError
+
+        try:
+            done = self.log.put(key, now_ns)
+        except DeviceFullError:
+            # All zones live: make room and retry once.
+            self._evict(max(1, len(self._fifo) // self._EVICT_FRACTION))
+            done = self.log.put(key, now_ns)
+        self._fifo.pop(key, None)
+        self._fifo[key] = None
+        return done
+
+    def delete(self, key: int, now_ns: int) -> int:
+        self._fifo.pop(key, None)
+        self.log.delete(key)
+        return now_ns
+
+    def contains(self, key: int) -> bool:
+        return key in self._fifo
+
+    def resident_items(self) -> Dict[int, int]:
+        page = self.device.geometry.page_size
+        return {key: page for key in self._fifo}
+
+    def health(self) -> Optional["HealthLogPage"]:
+        return None  # ZNS exposes zone reports, not SMART health pages
+
+    def busy_until(self) -> Optional[int]:
+        return self.device.latency.busy_until
+
+    def power_off(self, now_ns: int) -> None:
+        self._fifo.clear()
+
+    def merged_histogram(self, op: str) -> Optional["LatencyHistogram"]:
+        return None
+
+    def clear_histograms(self) -> None:
+        pass
+
+    def page_counters(self) -> Tuple[int, int]:
+        host = self.log.appended_pages
+        return host, host + self.log.host_copied_pages
+
+    @property
+    def dlwa(self) -> float:
+        return self.log.host_waf
+
+    def energy_kwh(self) -> float:
+        return self.device.energy.active_energy_j() / 3.6e6
+
+    @property
+    def capacity_bytes(self) -> int:
+        page = self.device.geometry.page_size
+        return self.device.num_zones * self.device.zone_pages * page
+
+    def stats_dict(self) -> dict:
+        return {
+            "engine": "zns-log",
+            "items": len(self._fifo),
+            "hit_ratio": self.hits / self.lookups if self.lookups else 0.0,
+            "evicted_items": self.evicted_items,
+            "host_waf": self.log.host_waf,
+            "zone_report": self.device.zone_report(),
+        }
+
+
+# ----------------------------------------------------------------------
+# the shard
+# ----------------------------------------------------------------------
+
+
+class CacheShard:
+    """Lifecycle + error-taxonomy wrapper around one backend.
+
+    Owns the shard-local simulated timeline (``clock_ns``): shards are
+    independent devices, so each advances its own closed-loop clock,
+    exactly as one :class:`~repro.bench.driver.CacheBench` would if it
+    drove the shard alone — the property the 1-shard differential test
+    relies on.
+    """
+
+    def __init__(self, shard_id: str, backend, spec: Optional[ShardSpec] = None) -> None:
+        self.shard_id = shard_id
+        self.backend = backend
+        self.spec = spec
+        self.state = ShardState.HEALTHY
+        self.clock_ns = 0
+        self.gets = 0
+        self.hits = 0
+        self.sets = 0
+        self.deletes = 0
+        self.errors_translated = 0
+        self.died_at_ops: Optional[int] = None
+
+    # -- error taxonomy -------------------------------------------------
+
+    def _check_alive(self, op: str) -> None:
+        if self.state is ShardState.DEAD:
+            raise ShardUnavailableError(
+                f"shard {self.shard_id!r} is DEAD ({op})",
+                shard_id=self.shard_id,
+                op=op,
+            )
+
+    def _translate(self, op: str, exc: BaseException) -> ShardUnavailableError:
+        self.errors_translated += 1
+        return ShardUnavailableError(
+            f"shard {self.shard_id!r} {op} failed: "
+            f"{type(exc).__name__}: {exc}",
+            shard_id=self.shard_id,
+            op=op,
+            cause=exc,
+        )
+
+    # -- data path ------------------------------------------------------
+
+    def get(self, key: int, now_ns: Optional[int] = None) -> Tuple[bool, str, int]:
+        """Look up a key; returns ``(hit, where, completion_ns)``."""
+        self._check_alive("get")
+        now = self.clock_ns if now_ns is None else now_ns
+        self.gets += 1
+        try:
+            hit, where, done = self.backend.get(key, now)
+        except SHARD_UNAVAILABLE_CAUSES as exc:
+            raise self._translate("get", exc) from exc
+        if hit:
+            self.hits += 1
+        self.clock_ns = done
+        return hit, where, done
+
+    def set(self, key: int, size: int, now_ns: Optional[int] = None) -> int:
+        """Insert/overwrite a key; returns the completion time."""
+        self._check_alive("set")
+        now = self.clock_ns if now_ns is None else now_ns
+        try:
+            done = self.backend.set(key, size, now)
+        except SHARD_UNAVAILABLE_CAUSES as exc:
+            raise self._translate("set", exc) from exc
+        self.sets += 1
+        self.clock_ns = done
+        return done
+
+    def delete(self, key: int, now_ns: Optional[int] = None) -> int:
+        self._check_alive("delete")
+        now = self.clock_ns if now_ns is None else now_ns
+        try:
+            done = self.backend.delete(key, now)
+        except SHARD_UNAVAILABLE_CAUSES as exc:
+            raise self._translate("delete", exc) from exc
+        self.deletes += 1
+        self.clock_ns = done
+        return done
+
+    # -- lifecycle ------------------------------------------------------
+
+    def begin_retirement(self) -> None:
+        if self.state is ShardState.DEAD:
+            raise ShardUnavailableError(
+                f"cannot retire DEAD shard {self.shard_id!r}",
+                shard_id=self.shard_id,
+                op="retire",
+            )
+        self.state = ShardState.RETIRING
+
+    def mark_degraded(self) -> None:
+        if self.state is ShardState.HEALTHY:
+            self.state = ShardState.DEGRADED
+
+    def kill(self, *, at_ops: Optional[int] = None) -> None:
+        """Hard-fail the shard: device powered off, state DEAD."""
+        if self.state is ShardState.DEAD:
+            return
+        self.state = ShardState.DEAD
+        self.died_at_ops = at_ops
+        self.backend.power_off(self.clock_ns)
+
+    @property
+    def alive(self) -> bool:
+        return self.state is not ShardState.DEAD
+
+    # -- introspection --------------------------------------------------
+
+    def contains(self, key: int) -> bool:
+        """Non-mutating membership probe (no I/O, no LRU effects)."""
+        return self.alive and self.backend.contains(key)
+
+    def resident_items(self) -> Dict[int, int]:
+        """key → size of everything this shard currently caches."""
+        return {} if not self.alive else self.backend.resident_items()
+
+    def health(self) -> Optional["HealthLogPage"]:
+        return None if not self.alive else self.backend.health()
+
+    def busy_until(self) -> Optional[int]:
+        return self.backend.busy_until()
+
+    def merged_histogram(self, op: str) -> Optional["LatencyHistogram"]:
+        return self.backend.merged_histogram(op)
+
+    def clear_histograms(self) -> None:
+        self.backend.clear_histograms()
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.hits / self.gets if self.gets else 0.0
+
+    @property
+    def dlwa(self) -> float:
+        return self.backend.dlwa
+
+    def page_counters(self) -> Tuple[int, int]:
+        """(host_pages_written, nand_pages_written) for fleet DLWA."""
+        return self.backend.page_counters()
+
+    def energy_kwh(self) -> float:
+        return self.backend.energy_kwh()
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.backend.capacity_bytes
+
+    def stats_dict(self) -> dict:
+        return {
+            "shard_id": self.shard_id,
+            "backend": self.backend.kind,
+            "state": self.state.value,
+            "gets": self.gets,
+            "hits": self.hits,
+            "sets": self.sets,
+            "deletes": self.deletes,
+            "hit_ratio": self.hit_ratio,
+            "errors_translated": self.errors_translated,
+            "dlwa": self.dlwa,
+            "clock_ns": self.clock_ns,
+            "engine": self.backend.stats_dict(),
+        }

@@ -1,0 +1,150 @@
+"""Consistent-hash routing properties (fleet placement invariants).
+
+The two properties the fleet's correctness rests on, proven with
+Hypothesis rather than sampled by hand:
+
+* **determinism under seed** — routing is a pure function of
+  ``(seed, membership)``: insertion order, router instance, and call
+  history never change an answer;
+* **bounded movement** — removing one shard re-routes *only* the keys
+  that shard owned (every survivor keeps every key), and the moved
+  fraction is ~K/N; adding a shard steals keys only for the newcomer.
+
+Both are load-bearing: the retirement drain assumes survivor keys
+never move (otherwise a drain would have to rewrite the whole fleet),
+and the partitioned parallel replay assumes two processes building the
+same ring route identically.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fleet import ConsistentHashRouter
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+shard_ids = st.lists(
+    st.text(
+        alphabet="abcdefghijklmnopqrstuvwxyz0123456789-",
+        min_size=1,
+        max_size=12,
+    ),
+    min_size=2,
+    max_size=12,
+    unique=True,
+)
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+keys = st.lists(
+    st.integers(min_value=0, max_value=2**63 - 1),
+    min_size=1,
+    max_size=300,
+    unique=True,
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(ids=shard_ids, seed=seeds, ks=keys, order=st.randoms())
+def test_routing_deterministic_under_seed(ids, seed, ks, order):
+    """Same (seed, membership) → same routing, whatever the insertion
+    order or instance."""
+    shuffled = list(ids)
+    order.shuffle(shuffled)
+    a = ConsistentHashRouter(ids, seed=seed)
+    b = ConsistentHashRouter(shuffled, seed=seed)
+    assert a.route_many(ks) == b.route_many(ks)
+    # And a third router built incrementally.
+    c = ConsistentHashRouter(seed=seed)
+    for shard_id in shuffled:
+        c.add_shard(shard_id)
+    assert a.route_many(ks) == c.route_many(ks)
+
+
+@settings(max_examples=50, deadline=None)
+@given(ids=shard_ids, seed=seeds, ks=keys, victim_index=st.integers(0, 11))
+def test_single_removal_moves_only_the_victims_keys(
+    ids, seed, ks, victim_index
+):
+    """The bounded-movement invariant: after removing one shard, every
+    key a survivor owned still routes to the same survivor."""
+    ring = ConsistentHashRouter(ids, seed=seed)
+    victim = ids[victim_index % len(ids)]
+    before = dict(zip(ks, ring.route_many(ks)))
+    ring.remove_shard(victim)
+    after = dict(zip(ks, ring.route_many(ks)))
+    for key in ks:
+        if before[key] != victim:
+            assert after[key] == before[key]
+        else:
+            assert after[key] != victim
+
+
+@settings(max_examples=50, deadline=None)
+@given(ids=shard_ids, seed=seeds, ks=keys)
+def test_addition_steals_keys_only_for_the_newcomer(ids, seed, ks):
+    """Adding a shard moves keys only *to* it — no survivor-to-survivor
+    churn (the mirror image of the removal bound)."""
+    newcomer = ids[-1]
+    ring = ConsistentHashRouter(ids[:-1], seed=seed)
+    before = dict(zip(ks, ring.route_many(ks)))
+    ring.add_shard(newcomer)
+    after = dict(zip(ks, ring.route_many(ks)))
+    for key in ks:
+        assert after[key] in (before[key], newcomer)
+
+
+def test_removal_moves_about_k_over_n_keys():
+    """Statistical version of the K/N bound at a realistic fleet size:
+    removing 1 of 8 shards moves ~1/8 of a large keyspace (the vnode
+    arcs bound the skew; 3x is a generous ceiling that would only
+    break if vnode placement were badly unbalanced)."""
+    ids = [f"shard{i:02d}" for i in range(8)]
+    ring = ConsistentHashRouter(ids, seed=42)
+    ks = list(range(20_000))
+    before = ring.route_many(ks)
+    ring.remove_shard("shard03")
+    after = ring.route_many(ks)
+    moved = sum(1 for b, a in zip(before, after) if b != a)
+    expected = len(ks) / len(ids)
+    assert moved <= 3 * expected
+    # And everything that moved used to belong to the victim.
+    for b, a in zip(before, after):
+        if b != a:
+            assert b == "shard03"
+
+
+def test_ownership_reasonably_balanced():
+    ids = [f"s{i}" for i in range(8)]
+    ring = ConsistentHashRouter(ids, seed=7)
+    hist = ring.ownership_histogram(range(40_000))
+    mean = 40_000 / 8
+    for shard_id, count in hist.items():
+        assert 0.4 * mean <= count <= 2.0 * mean, (shard_id, count)
+
+
+def test_different_seeds_route_differently():
+    ids = [f"s{i}" for i in range(6)]
+    ks = list(range(2_000))
+    a = ConsistentHashRouter(ids, seed=1).route_many(ks)
+    b = ConsistentHashRouter(ids, seed=2).route_many(ks)
+    assert a != b  # astronomically unlikely to collide on 2000 keys
+
+
+def test_ring_api_edges():
+    ring = ConsistentHashRouter(["a", "b"], seed=0)
+    assert "a" in ring and len(ring) == 2
+    assert ring.shard_ids == ("a", "b")
+    with pytest.raises(ValueError):
+        ring.add_shard("a")
+    with pytest.raises(ValueError):
+        ring.add_shard("")
+    with pytest.raises(KeyError):
+        ring.remove_shard("zz")
+    ring.remove_shard("a")
+    assert ring.route(12345) == "b"  # sole survivor owns everything
+    ring.remove_shard("b")
+    with pytest.raises(KeyError):
+        ring.route(1)
+    with pytest.raises(ValueError):
+        ConsistentHashRouter(vnodes=0)

@@ -1,0 +1,136 @@
+"""End-to-end fleet shard-loss soak (the tentpole acceptance test).
+
+Tier-1 runs a compact 3-shard soak: one shard dies unannounced at the
+halfway point and the run must prove graceful degradation — every op
+served (as a hit, miss, or degraded miss; never an exception), the
+miss storm attributed to the dead shard's keyspace, an exactly-once
+placement audit across survivors, and full determinism.  Losing 1 of 3
+shards permanently removes a third of the cache, so the compact run is
+judged at a wider recovery tolerance; the CI smoke job and the
+``slow``-marked full-scale soak enforce the paper-grade 10% bound
+where the lost fraction is realistic (1 of 8).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.fleet import (
+    SMOKE_SCALE,
+    default_fleet_specs,
+    main,
+    run_fleet_soak,
+)
+from repro.bench.metrics import FleetSoakResult, FleetWindow
+from repro.bench.runner import Scale
+
+TINY = Scale(num_superblocks=32, num_ops=24_000)
+
+
+@pytest.fixture(scope="module")
+def tiny_soak():
+    return run_fleet_soak(
+        num_shards=3, num_ops=24_000, scale=TINY, tolerance=0.25
+    )
+
+
+class TestTinySoak:
+    def test_serves_through_the_kill(self, tiny_soak):
+        r = tiny_soak
+        # Every trace op was served; failures became misses, never
+        # exceptions or lost ops.
+        window_ops = r.pre.ops + r.spike.ops + r.recovered.ops
+        assert r.ops >= window_ops
+        assert r.spike.live_shards == r.pre.live_shards - 1
+        assert r.recovered.live_shards == r.pre.live_shards - 1
+
+    def test_kill_fired_as_scripted(self, tiny_soak):
+        r = tiny_soak
+        assert r.kill_at_ops == r.ops // 2 + 1
+        kills = [t for t in r.transitions if t["event"] == "kill"]
+        assert len(kills) == 1
+        assert kills[0]["shard_id"] == r.killed_shard
+
+    def test_miss_storm_attributed_to_dead_shard(self, tiny_soak):
+        r = tiny_soak
+        assert r.pre.storm_misses == 0  # intact fleet: no storm
+        assert r.spike.storm_misses > 0  # the storm is visible...
+        assert r.recovered.storm_misses < r.spike.storm_misses  # ...and fading
+        assert r.control.storm_misses == 0
+
+    def test_exactly_once_placement_across_survivors(self, tiny_soak):
+        r = tiny_soak
+        assert r.keys_resident > 0
+        assert r.placement_clean
+        assert r.misplaced == 0
+        assert r.duplicates == 0
+        assert r.shadow_mismatches == 0
+
+    def test_recovers_within_tolerance_of_control(self, tiny_soak):
+        r = tiny_soak
+        assert r.miss_ratio_recovered
+        assert r.p99_recovered
+        assert r.acceptance
+
+    def test_windows_are_well_formed(self, tiny_soak):
+        for window in (tiny_soak.pre, tiny_soak.spike,
+                       tiny_soak.recovered, tiny_soak.control):
+            assert isinstance(window, FleetWindow)
+            assert window.gets > 0
+            assert 0.0 <= window.miss_ratio <= 1.0
+            assert window.read_p99_ns > 0
+
+    def test_serialization_round_trip(self, tiny_soak):
+        d = tiny_soak.to_dict()
+        assert d["killed_shard"] == tiny_soak.killed_shard
+        assert d["acceptance"] == tiny_soak.acceptance
+        assert len(d["shard_rows"]) == tiny_soak.num_shards
+        table = tiny_soak.summary_table()
+        assert "recovery vs no-kill control" in table
+        assert tiny_soak.killed_shard in table
+
+
+def test_soak_is_deterministic(tiny_soak):
+    again = run_fleet_soak(
+        num_shards=3, num_ops=24_000, scale=TINY, tolerance=0.25
+    )
+    assert again == tiny_soak
+    assert isinstance(again, FleetSoakResult)
+
+
+def test_soak_validation():
+    with pytest.raises(ValueError):
+        run_fleet_soak(num_shards=1)
+    with pytest.raises(ValueError):
+        run_fleet_soak(num_shards=4, mix="tape")
+    with pytest.raises(ValueError):
+        # Too few ops to fit the measurement windows around the kill.
+        run_fleet_soak(num_shards=2, num_ops=4_000, scale=TINY)
+    with pytest.raises(ValueError):
+        default_fleet_specs(0)
+
+
+@pytest.mark.slow
+def test_full_scale_soak_meets_paper_grade_tolerance():
+    """The headline run: 8 shards, default scale, 10% recovery bound."""
+    r = run_fleet_soak(num_shards=8)
+    assert r.acceptance, r.summary_table()
+    assert r.placement_clean
+
+
+@pytest.mark.slow
+def test_cli_smoke_exits_zero(capsys):
+    assert main(["--smoke"]) == 0
+    out = capsys.readouterr().out
+    assert "acceptance: PASS" in out
+
+
+def test_cli_rejects_bad_args():
+    with pytest.raises(SystemExit):
+        main(["--mix", "tape"])
+
+
+def test_smoke_scale_is_ci_sized():
+    # Guard against someone "fixing" the smoke job into a 10-minute run.
+    assert SMOKE_SCALE.num_superblocks <= 64
+    assert SMOKE_SCALE.num_ops <= 100_000

@@ -3,12 +3,28 @@
 Parallel and serial execution must merge to bit-identical RunResults,
 and a point's seed must depend only on (figure, index) — never on
 scheduling, worker count, or sibling points.
+
+Failure isolation: one crashing point must not abort a multi-hour
+sweep — the sibling points complete, the crash comes back as a typed
+:class:`PointFailure` record at its point's position, and the
+aggregated :class:`SweepError` (if raised at all) arrives only after
+the whole sweep has finished.
 """
 
 from __future__ import annotations
 
-from repro.bench import Scale, SweepPoint, point_seed, run_sweep
+import pytest
+
+from repro.bench import (
+    PointFailure,
+    Scale,
+    SweepError,
+    SweepPoint,
+    point_seed,
+    run_sweep,
+)
 from repro.bench.parallel import smoke_points
+from repro.bench.runner import RunResult
 
 TINY_SCALE = Scale(num_superblocks=64, num_ops=8_000)
 
@@ -60,3 +76,55 @@ def test_smoke_points_cover_the_figures():
     assert {"fig05_dlwa_timeline", "fig06_utilization_sweep",
             "table2_dram_sweep"} <= figures
     assert all(p.kwargs["num_ops"] == 5_000 for p in points)
+
+
+def crashing_point(index=2):
+    # utilization > 1 fails validation inside the worker's
+    # build_experiment call — a representative mis-parameterized point.
+    return SweepPoint(
+        "test_sweep", index, "kvcache",
+        {"fdp": True, "utilization": 2.0, "scale": TINY_SCALE},
+    )
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_crashing_point_does_not_abort_the_sweep(workers):
+    points = tiny_points() + [crashing_point()]
+    with pytest.raises(SweepError) as exc_info:
+        run_sweep(points, workers=workers)
+    err = exc_info.value
+    # The siblings completed and are salvageable from the exception.
+    assert len(err.results) == 3
+    assert isinstance(err.results[0], RunResult)
+    assert isinstance(err.results[1], RunResult)
+    assert err.results[:2] == run_sweep(tiny_points(), workers=1)
+    # The failure is a typed record at its point's position.
+    assert err.failures == [err.results[2]]
+    failure = err.failures[0]
+    assert isinstance(failure, PointFailure)
+    assert (failure.figure, failure.index) == ("test_sweep", 2)
+    assert failure.error_type == "ValueError"
+    assert "utilization" in failure.message
+    assert "Traceback" in failure.traceback
+    assert failure.summary_row().startswith("test_sweep[2]")
+
+
+def test_on_error_record_returns_failures_in_place():
+    points = [crashing_point(0)] + tiny_points()
+    results = run_sweep(points, workers=2, on_error="record")
+    assert isinstance(results[0], PointFailure)
+    assert isinstance(results[1], RunResult)
+    assert isinstance(results[2], RunResult)
+
+
+def test_on_error_validation():
+    with pytest.raises(ValueError):
+        run_sweep(tiny_points(), on_error="ignore")
+
+
+def test_all_points_failing_still_reports_each():
+    points = [crashing_point(0), crashing_point(1)]
+    with pytest.raises(SweepError) as exc_info:
+        run_sweep(points, workers=2)
+    assert len(exc_info.value.failures) == 2
+    assert "2/2 sweep points failed" in str(exc_info.value)
