@@ -12,6 +12,8 @@ from .metrics import (
     LatencyArm,
     LatencyReservoir,
     LatencySoakResult,
+    OverloadSoakResult,
+    OverloadWindow,
     RunResult,
 )
 from .parallel import (
@@ -39,15 +41,23 @@ from .runner import (
     run_integrity_soak,
 )
 
-# The fleet harness exports resolve lazily (PEP 562): repro.bench.fleet
-# imports repro.fleet, whose shard builder re-enters repro.bench.runner,
-# so an eager import here would both risk a cycle and trigger the
-# runpy double-execution warning under `python -m repro.bench.fleet`.
+# The fleet/overload harness exports resolve lazily (PEP 562):
+# repro.bench.fleet and repro.bench.overload import repro.fleet, whose
+# shard builder re-enters repro.bench.runner, so an eager import here
+# would both risk a cycle and trigger the runpy double-execution
+# warning under `python -m repro.bench.fleet` / `... .overload`.
 _FLEET_EXPORTS = (
     "FLEET_SCALE",
     "SMOKE_SCALE",
     "default_fleet_specs",
     "run_fleet_soak",
+)
+
+_OVERLOAD_EXPORTS = (
+    "OVERLOAD_SCALE",
+    "make_crowd_trace",
+    "run_overload_soak",
+    "scenario_matrix",
 )
 
 
@@ -56,6 +66,10 @@ def __getattr__(name):
         from . import fleet as _fleet
 
         return getattr(_fleet, name)
+    if name in _OVERLOAD_EXPORTS:
+        from . import overload as _overload
+
+        return getattr(_overload, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
@@ -98,4 +112,10 @@ __all__ = [
     "SMOKE_SCALE",
     "default_fleet_specs",
     "run_fleet_soak",
+    "OverloadWindow",
+    "OverloadSoakResult",
+    "OVERLOAD_SCALE",
+    "make_crowd_trace",
+    "run_overload_soak",
+    "scenario_matrix",
 ]

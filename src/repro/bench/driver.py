@@ -22,6 +22,8 @@ from __future__ import annotations
 import dataclasses
 from typing import Callable, List, Optional
 
+import numpy as np
+
 from ..cache.hybrid import HIT_DRAM, MISS, HybridCache
 from ..workloads.trace import OP_GET, OP_SET, Trace
 from .metrics import IntervalPoint, LatencyReservoir, RunResult, steady_state_dlwa
@@ -47,6 +49,14 @@ class ReplayConfig:
     contention — so tail-latency comparisons (the latency soak) must
     replay both arms open-loop at the same rate; throughput-oriented
     benches keep the closed loop.
+
+    ``arrival_schedule_ns`` generalizes that to a **per-op arrival
+    schedule**: an int64 array of absolute arrival times (one per op,
+    nondecreasing) as produced by the adversarial timing transforms
+    (diurnal waves, flash-crowd spikes).  Precedence: an explicit
+    ``arrival_schedule_ns`` wins, then a schedule carried on the trace
+    itself (``Trace.arrivals_ns``), then ``arrival_interval_ns``, then
+    the closed loop.
     """
 
     fill_on_miss: bool = True
@@ -54,6 +64,7 @@ class ReplayConfig:
     max_backlog_ns: int = 30_000_000
     poll_interval_ops: int = 50_000
     arrival_interval_ns: Optional[int] = None
+    arrival_schedule_ns: Optional[np.ndarray] = None
 
     def __post_init__(self) -> None:
         if self.think_ns < 0:
@@ -64,6 +75,16 @@ class ReplayConfig:
             raise ValueError("poll_interval_ops must be positive")
         if self.arrival_interval_ns is not None and self.arrival_interval_ns <= 0:
             raise ValueError("arrival_interval_ns must be positive or None")
+        if self.arrival_schedule_ns is not None:
+            if self.arrival_interval_ns is not None:
+                raise ValueError(
+                    "arrival_schedule_ns and arrival_interval_ns are "
+                    "mutually exclusive"
+                )
+            schedule = np.asarray(self.arrival_schedule_ns, dtype=np.int64)
+            if len(schedule) and bool(np.any(np.diff(schedule) < 0)):
+                raise ValueError("arrival_schedule_ns must be nondecreasing")
+            object.__setattr__(self, "arrival_schedule_ns", schedule)
 
 
 class CacheBench:
@@ -103,8 +124,21 @@ class CacheBench:
         backlog_cap = cfg.max_backlog_ns
         poll_every = cfg.poll_interval_ops
         arrival = cfg.arrival_interval_ns
+        schedule = cfg.arrival_schedule_ns
+        if schedule is None and trace.arrivals_ns is not None:
+            schedule = trace.arrivals_ns
+        if schedule is not None and len(schedule) < total:
+            raise ValueError(
+                f"arrival schedule has {len(schedule)} entries for a "
+                f"{total}-op trace"
+            )
 
         for i in range(total):
+            if schedule is not None:
+                # Open loop, per-op schedule: the op arrives when the
+                # schedule says, however far behind the device is — the
+                # regime where overload actually queues.
+                now = int(schedule[i])
             op = ops_arr[i]
             key = int(keys_arr[i])
             if op == OP_GET:
@@ -121,7 +155,9 @@ class CacheBench:
             else:  # OP_DEL
                 done = cache.delete(key, now)
 
-            if arrival is not None:
+            if schedule is not None:
+                pass  # next iteration reads its own arrival time
+            elif arrival is not None:
                 # Open loop: the next op arrives on the fixed clock no
                 # matter when this one completed (latency soak mode —
                 # identical arrival schedules across arms).

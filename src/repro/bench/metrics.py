@@ -517,6 +517,167 @@ class FleetSoakResult:
         return "\n".join(lines)
 
 
+@dataclasses.dataclass(frozen=True)
+class OverloadWindow:
+    """Service quality over one window of the overload soak.
+
+    One row per measurement window — ``pre`` (steady state before the
+    flash crowd), ``burst`` (inside it), ``recovered`` (after it) — for
+    one arm (governor-on or governor-off).  ``max_backlog_ns`` is the
+    worst per-shard device backlog observed at the window edge: the
+    open-loop queue the next op lands behind, the collapse signal
+    itself.  ``label`` carries the scenario's ground-truth annotation
+    for the window (e.g. ``flash_crowd`` overlap fraction), so damage
+    in the row is attributable to what the traffic was doing.
+    """
+
+    name: str
+    ops: int
+    gets: int
+    misses: int
+    read_p99_ns: int
+    max_backlog_ns: int
+    shed_sets: int
+    shed_loc_admissions: int
+    label: Dict[str, float]
+
+    @property
+    def miss_ratio(self) -> float:
+        return self.misses / self.gets if self.gets else 0.0
+
+    def summary_row(self) -> str:
+        return (
+            f"{self.name:<12} {self.ops:>8} {self.miss_ratio:>7.3f} "
+            f"{self.read_p99_ns / 1e6:>9.1f} "
+            f"{self.max_backlog_ns / 1e6:>9.1f} "
+            f"{self.shed_sets:>9} {self.shed_loc_admissions:>9}"
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass(frozen=True)
+class OverloadSoakResult:
+    """Verdict of the flash-crowd overload soak (governor on vs off).
+
+    Both arms replay the identical adversarial trace open loop — same
+    seed, same arrival schedule — so admission control is the only
+    degree of freedom.  Acceptance encodes the brownout contract:
+
+    * **bounded** — the governor-on arm's burst-window p99 stays at
+      least ``burst_advantage``× below the governor-off arm's (no
+      unbounded queue growth while shedding is active);
+    * **recovered** — the governor-on arm's post-burst p99 returns to
+      within ``tolerance`` of its own pre-burst window;
+    * **collapsed** — the governor-off arm *fails* to recover: its
+      post-burst p99 stays at least ``collapse_factor``× above its
+      pre-burst window (this is the arm proving the overload is real —
+      if governor-off shrugs the burst off, the scenario is too gentle
+      for the soak to claim anything);
+    * **engaged** — the governor actually shed load (nonzero counters),
+      so the pass is attributable to admission control, not luck.
+
+    The miss-ratio columns document the price of graceful degradation:
+    shed fills become later misses, which is the explicit trade — serve
+    more misses, never let reads queue unboundedly.
+    """
+
+    num_shards: int
+    ops: int
+    seed: int
+    scenario: str
+    tolerance: float
+    collapse_factor: float
+    burst_advantage: float
+    on_pre: OverloadWindow
+    on_burst: OverloadWindow
+    on_recovered: OverloadWindow
+    off_pre: OverloadWindow
+    off_burst: OverloadWindow
+    off_recovered: OverloadWindow
+    governor_counters: Dict[str, object]
+    queue_rejections: Dict[str, int]
+
+    @property
+    def p99_bounded(self) -> bool:
+        return (
+            self.on_burst.read_p99_ns * self.burst_advantage
+            <= self.off_burst.read_p99_ns
+        )
+
+    @property
+    def p99_recovered(self) -> bool:
+        if self.on_pre.read_p99_ns == 0:
+            return self.on_recovered.read_p99_ns == 0
+        return self.on_recovered.read_p99_ns <= self.on_pre.read_p99_ns * (
+            1.0 + self.tolerance
+        )
+
+    @property
+    def off_collapsed(self) -> bool:
+        return (
+            self.off_recovered.read_p99_ns
+            >= self.off_pre.read_p99_ns * self.collapse_factor
+        )
+
+    @property
+    def governor_engaged(self) -> bool:
+        shed = int(self.governor_counters.get("shed_sets", 0)) + int(
+            self.governor_counters.get("shed_loc_admissions", 0)
+        )
+        return shed > 0
+
+    @property
+    def acceptance(self) -> bool:
+        return (
+            self.p99_bounded
+            and self.p99_recovered
+            and self.off_collapsed
+            and self.governor_engaged
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        out = dataclasses.asdict(self)
+        out["acceptance"] = self.acceptance
+        return out
+
+    def summary_table(self) -> str:
+        header = (
+            f"{'window':<12} {'ops':>8} {'miss':>7} {'p99(ms)':>9} "
+            f"{'bklg(ms)':>9} {'shedSET':>9} {'shedLOC':>9}"
+        )
+        lines = [
+            f"overload-soak shards={self.num_shards} ops={self.ops} "
+            f"scenario={self.scenario} seed={self.seed:#x}",
+            header,
+            self.on_pre.summary_row(),
+            self.on_burst.summary_row(),
+            self.on_recovered.summary_row(),
+            self.off_pre.summary_row(),
+            self.off_burst.summary_row(),
+            self.off_recovered.summary_row(),
+            f"governor: {self.governor_counters}",
+            f"queue rejections: {self.queue_rejections or '{}'}",
+            f"burst bounded (on*{self.burst_advantage:g} <= off): "
+            f"{'PASS' if self.p99_bounded else 'FAIL'} "
+            f"({self.on_burst.read_p99_ns / 1e6:.1f}ms vs "
+            f"{self.off_burst.read_p99_ns / 1e6:.1f}ms)",
+            f"recovery (tol {self.tolerance:.0%} of pre-burst): "
+            f"{'PASS' if self.p99_recovered else 'FAIL'} "
+            f"({self.on_recovered.read_p99_ns / 1e6:.1f}ms vs "
+            f"{self.on_pre.read_p99_ns / 1e6:.1f}ms)",
+            f"governor-off collapse (>= {self.collapse_factor:g}x pre): "
+            f"{'PASS' if self.off_collapsed else 'FAIL'} "
+            f"({self.off_recovered.read_p99_ns / 1e6:.1f}ms vs "
+            f"{self.off_pre.read_p99_ns / 1e6:.1f}ms)",
+            f"governor engaged: "
+            f"{'PASS' if self.governor_engaged else 'FAIL'}  "
+            f"acceptance: {'PASS' if self.acceptance else 'FAIL'}",
+        ]
+        return "\n".join(lines)
+
+
 def steady_state_dlwa(series: Sequence[IntervalPoint]) -> Optional[float]:
     """Mean interval DLWA over the last half of the run (post warm-up)."""
     if not series:

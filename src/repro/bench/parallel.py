@@ -92,6 +92,13 @@ class PointFailure:
     Exceptions themselves may not unpickle cleanly across the process
     boundary (custom ``__init__`` signatures, attached devices), so the
     worker flattens type/message/traceback before shipping it back.
+
+    ``workload`` and ``params`` carry the originating
+    :class:`SweepPoint`'s full parameterization (kwargs flattened to
+    ``repr`` strings for pickling), so a failure in a large matrix —
+    e.g. the overload scenario sweep — is reproducible from the
+    aggregated :class:`SweepError` alone, without looking the point's
+    index back up.
     """
 
     figure: str
@@ -100,9 +107,17 @@ class PointFailure:
     error_type: str
     message: str
     traceback: str
+    workload: str = ""
+    params: Dict[str, str] = dataclasses.field(default_factory=dict)
 
     def summary_row(self) -> str:
-        return f"{self.name}: {self.error_type}: {self.message}"
+        row = f"{self.name}: {self.error_type}: {self.message}"
+        if self.workload or self.params:
+            args = ", ".join(
+                f"{k}={v}" for k, v in sorted(self.params.items())
+            )
+            row += f" [workload={self.workload!r} {args}]"
+        return row
 
 
 class SweepError(Exception):
@@ -142,6 +157,8 @@ def _run_point(point: SweepPoint) -> Union[RunResult, PointFailure]:
             error_type=type(exc).__name__,
             message=str(exc),
             traceback=_traceback.format_exc(),
+            workload=point.workload,
+            params={k: repr(v) for k, v in point.kwargs.items()},
         )
 
 

@@ -195,8 +195,19 @@ def run_experiment(
     name: Optional[str] = None,
     faults: Optional[FaultConfig] = None,
     io_path: str = "batched",
+    scenario: Optional[object] = None,
 ) -> RunResult:
-    """Build one arm (device, cache, trace) and replay it."""
+    """Build one arm (device, cache, trace) and replay it.
+
+    ``scenario`` (default ``None`` — stationary replay, the pre-existing
+    path exactly) applies an adversarial transform composition to the
+    trace before replay: either a
+    :class:`~repro.workloads.adversarial.Scenario` instance or one of
+    the :data:`~repro.workloads.adversarial.SCENARIOS` names (built via
+    :func:`~repro.workloads.adversarial.build_scenario` with this
+    experiment's ``seed``).  Scenario traces carry an arrival schedule,
+    so the replay switches to open loop automatically.
+    """
     cache = build_experiment(
         fdp=fdp,
         utilization=utilization,
@@ -213,10 +224,18 @@ def run_experiment(
         num_ops=num_ops,
         seed=seed,
     )
+    scenario_tag = ""
+    if scenario is not None:
+        if isinstance(scenario, str):
+            from ..workloads.adversarial import build_scenario
+
+            scenario = build_scenario(scenario, seed=seed)
+        trace = scenario.apply(trace)
+        scenario_tag = f" [{scenario.name}]"
     bench = CacheBench(replay)
     label = name or (
         f"{workload} util={utilization:.0%} "
-        f"{'FDP' if fdp else 'Non-FDP'}"
+        f"{'FDP' if fdp else 'Non-FDP'}{scenario_tag}"
     )
     return bench.run(cache, trace, name=label)
 

@@ -34,12 +34,25 @@ from .item import CacheItem
 from .loc import LargeObjectCache
 from .soc import SmallObjectCache
 
-__all__ = ["HybridCache", "GetResult", "HIT_DRAM", "HIT_SOC", "HIT_LOC", "MISS"]
+__all__ = [
+    "HybridCache",
+    "GetResult",
+    "HIT_DRAM",
+    "HIT_SOC",
+    "HIT_LOC",
+    "MISS",
+    "BROWNOUT_HEALTHY",
+    "BROWNOUT_SHED_LOC",
+]
 
 HIT_DRAM = "dram"
 HIT_SOC = "soc"
 HIT_LOC = "loc"
 MISS = "miss"
+
+# Brownout modes (overload protection; see repro.fleet.governor).
+BROWNOUT_HEALTHY = "healthy"
+BROWNOUT_SHED_LOC = "brownout"
 
 
 @dataclasses.dataclass(frozen=True)
@@ -174,6 +187,12 @@ class HybridCache:
         self.flash_admits = 0
         self.flash_rejects = 0
         self.metadata_write_errors = 0
+        # Overload brownout (driven by the fleet load governor):
+        # "healthy" is the bit-identical default; "brownout" sheds
+        # LOC-bound flash admissions (the big sequential writes) while
+        # SOC admissions and all reads proceed.  GETs are never shed.
+        self.brownout_mode = BROWNOUT_HEALTHY
+        self.shed_loc_admissions = 0
 
     # ------------------------------------------------------------------
     # helpers
@@ -218,6 +237,13 @@ class HybridCache:
         """
         assert self.config.admission is not None
         small = self._is_small(item)
+        if not small and self.brownout_mode != BROWNOUT_HEALTHY:
+            # Brownout: LOC admissions are the first load shed — the
+            # multi-page sequential writes that feed device backlog.
+            # The item simply falls out of the cache (a future GET
+            # misses), which is always safe for a cache.
+            self.shed_loc_admissions += 1
+            return now_ns
         engine = self.soc if small else self.loc
         if engine.contains(item.key):
             # A clean copy is already on flash (the item was promoted
@@ -233,6 +259,19 @@ class HybridCache:
         _, done = engine.insert(item, now_ns)
         done = self._maybe_flush_metadata(done)
         return done
+
+    def set_brownout_mode(self, mode: str) -> None:
+        """Switch overload shedding (``healthy`` restores full service).
+
+        Driven by the per-shard load governor
+        (:class:`repro.fleet.governor.LoadGovernor`); safe to flip at
+        any op boundary.  ``healthy`` mode takes the exact pre-brownout
+        code path, so a governor that never trips leaves the cache
+        bit-identical to one that was never attached.
+        """
+        if mode not in (BROWNOUT_HEALTHY, BROWNOUT_SHED_LOC):
+            raise ValueError(f"unknown brownout mode {mode!r}")
+        self.brownout_mode = mode
 
     def _promote(self, item: CacheItem, now_ns: int) -> int:
         """Insert an NVM hit into DRAM; spill any DRAM evictions down.
@@ -403,6 +442,8 @@ class HybridCache:
             "flash_admits": self.flash_admits,
             "flash_rejects": self.flash_rejects,
             "app_set_bytes": self.app_set_bytes,
+            "brownout_mode": self.brownout_mode,
+            "shed_loc_admissions": self.shed_loc_admissions,
             "soc": {
                 "engine": self.config.soc_engine,
                 "items": self.soc.item_count,

@@ -33,6 +33,7 @@ from .driver import (
     replay_partitioned,
 )
 from .errors import SHARD_UNAVAILABLE_CAUSES, FleetError, ShardUnavailableError
+from .governor import GovernorConfig, GovernorState, LoadGovernor, OverloadSignals
 from .hashring import ConsistentHashRouter
 from .monitor import (
     FleetHealthMonitor,
@@ -58,7 +59,11 @@ __all__ = [
     "FleetOpResult",
     "FleetReplayConfig",
     "FleetRunResult",
+    "GovernorConfig",
+    "GovernorState",
+    "LoadGovernor",
     "MonitorConfig",
+    "OverloadSignals",
     "SHARD_UNAVAILABLE_CAUSES",
     "ScriptedShardEvent",
     "ShardFailurePlan",

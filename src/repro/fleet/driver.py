@@ -27,6 +27,8 @@ import dataclasses
 from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..workloads.trace import OP_GET, OP_SET, Trace
 from .hashring import ConsistentHashRouter
 from .monitor import FleetHealthMonitor
@@ -45,12 +47,23 @@ __all__ = [
 
 @dataclasses.dataclass(frozen=True)
 class FleetReplayConfig:
-    """Fleet replay knobs (the CacheBench contract, per shard)."""
+    """Fleet replay knobs (the CacheBench contract, per shard).
+
+    ``arrival_interval_ns`` / ``arrival_schedule_ns`` switch the fleet
+    replay to **open loop**, mirroring
+    :class:`~repro.bench.driver.ReplayConfig`: ops are issued at their
+    scheduled arrival times regardless of completion, so an overloaded
+    shard's backlog actually grows instead of throttling the trace.  A
+    schedule carried on the trace itself (``Trace.arrivals_ns``) is
+    used when neither knob is set here.
+    """
 
     fill_on_miss: bool = True
     think_ns: int = 100_000
     max_backlog_ns: int = 30_000_000
     poll_interval_ops: int = 2000
+    arrival_interval_ns: Optional[int] = None
+    arrival_schedule_ns: Optional[np.ndarray] = None
 
     def __post_init__(self) -> None:
         if self.think_ns < 0:
@@ -59,6 +72,18 @@ class FleetReplayConfig:
             raise ValueError("max_backlog_ns must be non-negative")
         if self.poll_interval_ops <= 0:
             raise ValueError("poll_interval_ops must be positive")
+        if self.arrival_interval_ns is not None and self.arrival_interval_ns <= 0:
+            raise ValueError("arrival_interval_ns must be positive or None")
+        if self.arrival_schedule_ns is not None:
+            if self.arrival_interval_ns is not None:
+                raise ValueError(
+                    "arrival_schedule_ns and arrival_interval_ns are "
+                    "mutually exclusive"
+                )
+            schedule = np.asarray(self.arrival_schedule_ns, dtype=np.int64)
+            if len(schedule) and bool(np.any(np.diff(schedule) < 0)):
+                raise ValueError("arrival_schedule_ns must be nondecreasing")
+            object.__setattr__(self, "arrival_schedule_ns", schedule)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -138,6 +163,16 @@ class FleetDriver:
         keys_arr = trace.keys
         sizes_arr = trace.sizes
         total = len(trace)
+        schedule = cfg.arrival_schedule_ns
+        if schedule is None and trace.arrivals_ns is not None:
+            schedule = trace.arrivals_ns
+        if schedule is not None and len(schedule) < total:
+            raise ValueError(
+                f"arrival schedule has {len(schedule)} entries for a "
+                f"{total}-op trace"
+            )
+        interval = cfg.arrival_interval_ns
+        open_loop = schedule is not None or interval is not None
 
         series: List[FleetIntervalPoint] = []
         prev_gets, prev_misses = fleet.gets, fleet.misses
@@ -160,19 +195,35 @@ class FleetDriver:
         for i in range(total):
             op = ops_arr[i]
             key = int(keys_arr[i])
+            if open_loop:
+                # Open loop: the op arrives on its schedule, however
+                # far behind the serving shard's device is.  ops_done
+                # is cumulative, so a fixed interval stays continuous
+                # across the soak's segment-by-segment replay.
+                now = (
+                    int(schedule[i])
+                    if schedule is not None
+                    else self.ops_done * interval
+                )
+            else:
+                now = None
             if op == OP_GET:
-                result = fleet.get(key)
+                result = fleet.get(key, now)
                 served = result.shard_id
                 if result.miss and fill and not result.degraded:
-                    set_result = fleet.set(key, int(sizes_arr[i]))
+                    # Fill lands at the GET's completion, as in
+                    # CacheBench's open-loop path.
+                    fill_at = result.completion_ns if open_loop else None
+                    set_result = fleet.set(key, int(sizes_arr[i]), fill_at)
                     if set_result.applied:
                         served = set_result.shard_id
             elif op == OP_SET:
-                served = fleet.set(key, int(sizes_arr[i])).shard_id
+                served = fleet.set(key, int(sizes_arr[i]), now).shard_id
             else:  # OP_DEL
-                served = fleet.delete(key).shard_id
+                served = fleet.delete(key, now).shard_id
 
-            self._advance_clock(served)
+            if not open_loop:
+                self._advance_clock(served)
             self.ops_done += 1
             if self.monitor is not None:
                 self.monitor.observe(self.ops_done)

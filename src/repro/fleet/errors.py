@@ -36,6 +36,12 @@ class ShardUnavailableError(FleetError):
     itself once it is DEAD.  The router catches this class — and only
     this class — to drive retries, circuit breakers, and degraded
     (miss-instead-of-error) service.
+
+    When the cause is a :class:`~repro.ssd.errors.QueueFullError`,
+    ``queue`` and ``queue_depth`` carry the saturated submission
+    queue's name and configured depth, so overload diagnostics can
+    attribute the rejection without digging through ``cause``.  For
+    every other cause both stay at their empty defaults.
     """
 
     def __init__(
@@ -45,11 +51,15 @@ class ShardUnavailableError(FleetError):
         shard_id: str,
         op: str = "",
         cause: Optional[BaseException] = None,
+        queue: str = "",
+        queue_depth: int = 0,
     ) -> None:
         super().__init__(message)
         self.shard_id = shard_id
         self.op = op
         self.cause = cause
+        self.queue = queue
+        self.queue_depth = queue_depth
 
 
 def _unavailable_causes():

@@ -38,6 +38,7 @@ from ..cache.hybrid import MISS
 from ..model.carbon import CarbonParams, total_co2e_kg
 from ..ssd.sched import LatencyHistogram
 from .errors import ShardUnavailableError
+from .governor import GovernorConfig, LoadGovernor
 from .hashring import ConsistentHashRouter
 from .shard import CacheShard, ShardState
 
@@ -52,7 +53,14 @@ __all__ = [
 
 @dataclasses.dataclass(frozen=True)
 class FleetConfig:
-    """Router knobs (all deterministic — ops and ns, never wall time)."""
+    """Router knobs (all deterministic — ops and ns, never wall time).
+
+    ``governor`` switches on per-shard overload protection: every
+    shard gets a :class:`~repro.fleet.governor.LoadGovernor` built
+    from the given config (brownout/shed write admission + bounded
+    retry budget).  ``None`` — the default — is the exact pre-governor
+    code path.
+    """
 
     vnodes: int = 64
     ring_seed: int = 0
@@ -60,6 +68,7 @@ class FleetConfig:
     retry_backoff_ns: int = 200_000
     breaker_failure_threshold: int = 3
     breaker_cooldown_ops: int = 512
+    governor: Optional[GovernorConfig] = None
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
@@ -171,6 +180,9 @@ class FleetCache:
             )
             for sid in ids
         }
+        if self.config.governor is not None:
+            for shard in shards:
+                shard.attach_governor(LoadGovernor(self.config.governor))
         self.shadow: Dict[int, str] = {}  # key -> owner of last acked SET
         self.events: List[dict] = []  # membership/lifecycle event log
 
@@ -209,8 +221,13 @@ class FleetCache:
     # data path
     # ------------------------------------------------------------------
 
-    def get(self, key: int) -> FleetGetResult:
-        """Route a GET to the key's owner; degrade failures to misses."""
+    def get(self, key: int, now_ns: Optional[int] = None) -> FleetGetResult:
+        """Route a GET to the key's owner; degrade failures to misses.
+
+        ``now_ns`` (open-loop replay) pins the op's arrival time on the
+        serving shard's timeline; ``None`` keeps the shard's own
+        closed-loop clock.  GETs are **never** shed by the governor.
+        """
         self.ops += 1
         self.gets += 1
         shard = self._owner(key)
@@ -218,6 +235,7 @@ class FleetCache:
             self.degraded_misses += 1
             self._note_miss(key)
             return FleetGetResult(False, MISS, None, 0, degraded=True)
+        shard.sense_and_govern(now_ns)
         breaker = self.breakers[shard.shard_id]
         if not breaker.allow(self.ops):
             self.degraded_misses += 1
@@ -227,10 +245,10 @@ class FleetCache:
             )
         for attempt in range(self.config.max_retries + 1):
             try:
-                hit, where, done = shard.get(key)
+                hit, where, done = shard.get(key, now_ns)
             except ShardUnavailableError:
                 breaker.record_failure(self.ops)
-                if attempt < self.config.max_retries:
+                if attempt < self.config.max_retries and shard.allow_retry():
                     self.retries += 1
                     shard.clock_ns += self.config.retry_backoff_ns * (
                         attempt + 1
@@ -249,24 +267,37 @@ class FleetCache:
             return FleetGetResult(hit, where, shard.shard_id, done)
         raise AssertionError("unreachable")  # pragma: no cover
 
-    def set(self, key: int, size: int) -> FleetOpResult:
-        """Route a SET to the key's owner; degrade failures to drops."""
+    def set(
+        self, key: int, size: int, now_ns: Optional[int] = None
+    ) -> FleetOpResult:
+        """Route a SET to the key's owner; degrade failures to drops.
+
+        With a governor attached, the SET must first pass the shard's
+        write-admission gate — under brownout/shed, writes are the load
+        that gets dropped so reads keep their latency budget.
+        """
         self.ops += 1
         self.sets += 1
         shard = self._owner(key)
         if shard is None:
             self.dropped_sets += 1
             return FleetOpResult(0, None, applied=False)
+        shard.sense_and_govern(now_ns)
+        if not shard.admit_set(now_ns):
+            # Shed at the host: no device I/O, no shadow update.  The
+            # governor counts it (shed_sets); the key simply misses
+            # later, which is always safe for a cache.
+            return FleetOpResult(shard.clock_ns, shard.shard_id, False)
         breaker = self.breakers[shard.shard_id]
         if not breaker.allow(self.ops):
             self.dropped_sets += 1
             return FleetOpResult(shard.clock_ns, shard.shard_id, False)
         for attempt in range(self.config.max_retries + 1):
             try:
-                done = shard.set(key, size)
+                done = shard.set(key, size, now_ns)
             except ShardUnavailableError:
                 breaker.record_failure(self.ops)
-                if attempt < self.config.max_retries:
+                if attempt < self.config.max_retries and shard.allow_retry():
                     self.retries += 1
                     shard.clock_ns += self.config.retry_backoff_ns * (
                         attempt + 1
@@ -280,7 +311,7 @@ class FleetCache:
             return FleetOpResult(done, shard.shard_id, True)
         raise AssertionError("unreachable")  # pragma: no cover
 
-    def delete(self, key: int) -> FleetOpResult:
+    def delete(self, key: int, now_ns: Optional[int] = None) -> FleetOpResult:
         self.ops += 1
         self.deletes += 1
         shard = self._owner(key)
@@ -290,7 +321,7 @@ class FleetCache:
         if not breaker.allow(self.ops):
             return FleetOpResult(shard.clock_ns, shard.shard_id, False)
         try:
-            done = shard.delete(key)
+            done = shard.delete(key, now_ns)
         except ShardUnavailableError:
             breaker.record_failure(self.ops)
             self.shadow.pop(key, None)
@@ -374,6 +405,8 @@ class FleetCache:
             self.config.breaker_failure_threshold,
             self.config.breaker_cooldown_ops,
         )
+        if self.config.governor is not None and shard.governor is None:
+            shard.attach_governor(LoadGovernor(self.config.governor))
         self.events.append(
             {"event": "add", "shard_id": shard.shard_id, "at_ops": self.ops}
         )
@@ -406,6 +439,41 @@ class FleetCache:
     def clear_histograms(self) -> None:
         for shard in self.live_shards:
             shard.clear_histograms()
+
+    def governor_counters(self) -> dict:
+        """Fleet-aggregate overload-protection counters.
+
+        Sums every attached governor's shed/transition/retry counters
+        plus the cache-level LOC-admission sheds; ``states`` maps each
+        governed shard to its current governor state.  All zeros when
+        no governor is attached (the control arm's expected shape).
+        """
+        totals = {
+            "shed_sets": 0,
+            "shed_loc_admissions": 0,
+            "brownout_transitions": 0,
+            "retry_budget_exhausted": 0,
+        }
+        states: Dict[str, str] = {}
+        for sid, shard in sorted(self.shards.items()):
+            gov = shard.governor
+            if gov is None:
+                continue
+            states[sid] = gov.state.value
+            totals["shed_sets"] += gov.shed_sets
+            totals["shed_loc_admissions"] += shard.backend.shed_loc_admissions
+            totals["brownout_transitions"] += gov.brownout_transitions
+            totals["retry_budget_exhausted"] += gov.retry_budget_exhausted
+        totals["states"] = states
+        return totals
+
+    def queue_rejections(self) -> Dict[str, int]:
+        """Per-queue QueueFullError rejections, summed across shards."""
+        merged: Dict[str, int] = {}
+        for shard in self.shards.values():
+            for queue, count in shard.queue_rejections.items():
+                merged[queue] = merged.get(queue, 0) + count
+        return dict(sorted(merged.items()))
 
     def fleet_dlwa(self) -> float:
         """Fleet-aggregate DLWA: total NAND over total host pages."""
@@ -457,6 +525,8 @@ class FleetCache:
                 "moved_bytes": self.rebalance_moved_bytes,
                 "failed_items": self.rebalance_failed_items,
             },
+            "governor": self.governor_counters(),
+            "queue_rejections": self.queue_rejections(),
             "breakers": {
                 sid: {
                     "state": b.state,

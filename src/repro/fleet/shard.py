@@ -33,9 +33,17 @@ import dataclasses
 import enum
 from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
-from ..cache.hybrid import HIT_DRAM, MISS, HybridCache
+from ..cache.hybrid import (
+    BROWNOUT_HEALTHY,
+    BROWNOUT_SHED_LOC,
+    HIT_DRAM,
+    MISS,
+    HybridCache,
+)
+from ..ssd.errors import QueueFullError
 from ..ssd.zns import ZnsHostLog, ZonedSSD
 from .errors import SHARD_UNAVAILABLE_CAUSES, ShardUnavailableError
+from .governor import GovernorState, LoadGovernor, OverloadSignals
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
     from ..bench.runner import Scale
@@ -135,6 +143,24 @@ class _HybridBackend:
 
     def busy_until(self) -> Optional[int]:
         return self.cache.device.ftl.latency.busy_until
+
+    def overload_signals(self, now_ns: int) -> OverloadSignals:
+        backlog = max(0, self.cache.device.ftl.latency.busy_until - now_ns)
+        sched = self.cache.device.scheduler
+        if sched is None:
+            return OverloadSignals(backlog_ns=backlog)
+        return OverloadSignals(
+            backlog_ns=backlog,
+            gc_backlog_ns=sched.gc_backlog_ns(),
+            queue_fraction=sched.max_queue_fraction(),
+        )
+
+    def set_brownout_mode(self, mode: str) -> None:
+        self.cache.set_brownout_mode(mode)
+
+    @property
+    def shed_loc_admissions(self) -> int:
+        return self.cache.shed_loc_admissions
 
     def power_off(self, now_ns: int) -> None:
         if not self.cache.device.powered_off:
@@ -245,6 +271,18 @@ class _ZnsBackend:
     def busy_until(self) -> Optional[int]:
         return self.device.latency.busy_until
 
+    def overload_signals(self, now_ns: int) -> OverloadSignals:
+        return OverloadSignals(
+            backlog_ns=max(0, self.device.latency.busy_until - now_ns)
+        )
+
+    def set_brownout_mode(self, mode: str) -> None:
+        pass  # the ZNS log has no LOC tier to shed
+
+    @property
+    def shed_loc_admissions(self) -> int:
+        return 0
+
     def power_off(self, now_ns: int) -> None:
         self._fifo.clear()
 
@@ -308,6 +346,50 @@ class CacheShard:
         self.deletes = 0
         self.errors_translated = 0
         self.died_at_ops: Optional[int] = None
+        # Per-queue QueueFullError rejections seen at this boundary.
+        self.queue_rejections: Dict[str, int] = {}
+        # Optional overload governor (attached by the router or
+        # directly); None means the pre-governor code path, exactly.
+        self.governor: Optional[LoadGovernor] = None
+
+    # -- overload governance --------------------------------------------
+
+    def attach_governor(self, governor: LoadGovernor) -> None:
+        self.governor = governor
+
+    def sense_and_govern(self, now_ns: Optional[int] = None) -> None:
+        """One sensing tick: feed the governor, drive brownout mode.
+
+        Called by the router at op boundaries, with the op's arrival
+        time under open-loop replay (``None`` falls back to the shard
+        clock — under closed loop the two coincide).  Without a
+        governor (or on a DEAD shard) this is a no-op; with one, a
+        state change flips the backend's brownout mode (BROWNOUT and
+        SHED both shed LOC admissions — SHED additionally drops whole
+        SETs, which the router enforces via :meth:`admit_set`).
+        """
+        gov = self.governor
+        if gov is None or self.state is ShardState.DEAD:
+            return
+        now = self.clock_ns if now_ns is None else now_ns
+        if gov.observe(now, self.backend.overload_signals(now)):
+            self.backend.set_brownout_mode(
+                BROWNOUT_HEALTHY
+                if gov.state is GovernorState.HEALTHY
+                else BROWNOUT_SHED_LOC
+            )
+
+    def admit_set(self, now_ns: Optional[int] = None) -> bool:
+        """Governor write-admission gate (True when no governor)."""
+        gov = self.governor
+        if gov is None:
+            return True
+        return gov.admit_set(self.clock_ns if now_ns is None else now_ns)
+
+    def allow_retry(self) -> bool:
+        """Governor retry-budget gate (True when no governor)."""
+        gov = self.governor
+        return gov is None or gov.allow_retry()
 
     # -- error taxonomy -------------------------------------------------
 
@@ -321,12 +403,22 @@ class CacheShard:
 
     def _translate(self, op: str, exc: BaseException) -> ShardUnavailableError:
         self.errors_translated += 1
+        queue, depth = "", 0
+        if isinstance(exc, QueueFullError):
+            # Carry the saturated queue through the translation and
+            # keep per-queue rejection tallies for fleet stats.
+            queue, depth = exc.queue, exc.depth
+            self.queue_rejections[queue] = (
+                self.queue_rejections.get(queue, 0) + 1
+            )
         return ShardUnavailableError(
             f"shard {self.shard_id!r} {op} failed: "
             f"{type(exc).__name__}: {exc}",
             shard_id=self.shard_id,
             op=op,
             cause=exc,
+            queue=queue,
+            queue_depth=depth,
         )
 
     # -- data path ------------------------------------------------------
@@ -447,7 +539,16 @@ class CacheShard:
             "deletes": self.deletes,
             "hit_ratio": self.hit_ratio,
             "errors_translated": self.errors_translated,
+            "queue_rejections": dict(sorted(self.queue_rejections.items())),
             "dlwa": self.dlwa,
             "clock_ns": self.clock_ns,
+            "governor": (
+                None
+                if self.governor is None
+                else {
+                    **self.governor.counters(),
+                    "shed_loc_admissions": self.backend.shed_loc_admissions,
+                }
+            ),
             "engine": self.backend.stats_dict(),
         }

@@ -370,7 +370,9 @@ class SimulatedSSD:
             raise QueueFullError(
                 f"queue {queue!r} is full (depth "
                 f"{sched.config.queue_depth}); poll() completions before "
-                "submitting more"
+                "submitting more",
+                queue=queue,
+                depth=sched.config.queue_depth,
             )
         # Trims occupy the channel where the data lived before the
         # mapping is destroyed.

@@ -154,4 +154,20 @@ class QueueFullError(SsdError):
     the same backpressure a full NVMe SQ exerts.  The host must
     :meth:`~repro.ssd.device.SimulatedSSD.poll` completions before
     submitting more; no device state changed.
+
+    Carries the saturated queue's name and configured depth as
+    structured attributes so layers above (the fleet shard translation,
+    the load governor) can attribute backpressure to a specific queue
+    without parsing the message.
     """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        queue: str = "",
+        depth: int = 0,
+    ) -> None:
+        super().__init__(message)
+        self.queue = queue
+        self.depth = depth

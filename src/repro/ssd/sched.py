@@ -380,6 +380,33 @@ class MultiQueueScheduler:
         """Remaining outstanding window for a queue (creates it)."""
         return self.config.queue_depth - self.queue(name).outstanding
 
+    def max_queue_fraction(self) -> float:
+        """Occupancy of the fullest queue as a fraction of its depth.
+
+        Read-only overload signal for host-side admission control:
+        1.0 means at least one queue is at its outstanding window and
+        the next submit there would raise :class:`QueueFullError`.
+        """
+        if not self._queues:
+            return 0.0
+        busiest = max(q.outstanding for q in self._queues.values())
+        return busiest / self.config.queue_depth
+
+    def gc_backlog_ns(self) -> int:
+        """Background (GC/erase/scrub) work queued but not yet folded.
+
+        Sums the pending background segments across all channels —
+        device time already committed to relocation that host commands
+        will have to wait behind.  Read-only: sensing never advances
+        channel horizons, so polling this from an admission governor
+        cannot perturb the timing model.
+        """
+        return sum(
+            dur
+            for backlog in self._backlog
+            for (_kind, dur, _ready) in backlog
+        )
+
     def histograms(self) -> Dict[str, Dict[str, LatencyHistogram]]:
         """Per-queue, per-op latency histograms (live references)."""
         return {name: q.histograms for name, q in self._queues.items()}
@@ -534,7 +561,9 @@ class MultiQueueScheduler:
             raise QueueFullError(
                 f"queue {queue!r} is full (depth "
                 f"{self.config.queue_depth}); poll() completions before "
-                "submitting more"
+                "submitting more",
+                queue=queue,
+                depth=self.config.queue_depth,
             )
         if not 0 <= channel < self.channels:
             raise ValueError(f"channel {channel} outside [0, {self.channels})")

@@ -5,6 +5,17 @@ DESIGN.md for the substitution rationale), plus a trace container with
 gzipped-CSV persistence.
 """
 
+from .adversarial import (
+    SCENARIOS,
+    DiurnalWave,
+    FlashCrowd,
+    HotKeyMigration,
+    Scenario,
+    ScanInterference,
+    SizeMixDrift,
+    build_scenario,
+    compose,
+)
 from .analysis import TraceProfile, profile_trace
 from .distributions import ZipfSampler, key_uniform, loguniform_sizes, mix64
 from .kvcache import KV_CACHE_DEFAULTS, kv_cache_trace, wo_kv_cache_trace
@@ -19,6 +30,15 @@ __all__ = [
     "key_uniform",
     "loguniform_sizes",
     "mix64",
+    "DiurnalWave",
+    "FlashCrowd",
+    "HotKeyMigration",
+    "SizeMixDrift",
+    "ScanInterference",
+    "Scenario",
+    "SCENARIOS",
+    "build_scenario",
+    "compose",
     "kv_cache_trace",
     "wo_kv_cache_trace",
     "KV_CACHE_DEFAULTS",

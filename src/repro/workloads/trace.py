@@ -4,6 +4,14 @@ A trace is three parallel numpy arrays (op, key, size) — the layout the
 bench driver iterates — plus save/load in a simple gzipped CSV format
 (``op,key,size`` per line) compatible with external tooling, in the
 spirit of the CacheBench trace-replay inputs.
+
+A trace may additionally carry a per-op **arrival schedule**
+(``arrivals_ns``): absolute simulated arrival times, one per op,
+nondecreasing.  Stationary traces leave it ``None`` and the replay
+drivers fall back to their fixed-interval / closed-loop clocks; the
+adversarial transforms (:mod:`repro.workloads.adversarial`) attach a
+schedule so diurnal waves and flash-crowd rate spikes survive slicing
+and composition as part of the trace itself.
 """
 
 from __future__ import annotations
@@ -11,7 +19,7 @@ from __future__ import annotations
 import dataclasses
 import gzip
 from pathlib import Path
-from typing import Iterator, Tuple, Union
+from typing import Iterator, Optional, Tuple, Union
 
 import numpy as np
 
@@ -41,12 +49,17 @@ class Trace:
         the driver uses it for fill-on-miss).
     name:
         Human-readable workload label.
+    arrivals_ns:
+        Optional int64 array of absolute per-op arrival times
+        (nondecreasing).  ``None`` for stationary traces; set by the
+        adversarial timing transforms and consumed by open-loop replay.
     """
 
     ops: np.ndarray
     keys: np.ndarray
     sizes: np.ndarray
     name: str = "trace"
+    arrivals_ns: Optional[np.ndarray] = None
 
     def __post_init__(self) -> None:
         if not (len(self.ops) == len(self.keys) == len(self.sizes)):
@@ -59,6 +72,17 @@ class Trace:
         bad = set(np.unique(self.ops)) - set(OP_NAMES)
         if bad:
             raise ValueError(f"unknown op codes: {sorted(bad)}")
+        if self.arrivals_ns is not None:
+            self.arrivals_ns = np.asarray(self.arrivals_ns, dtype=np.int64)
+            if len(self.arrivals_ns) != len(self.ops):
+                raise ValueError("arrivals_ns must match the op count")
+            if len(self.arrivals_ns) and (
+                int(self.arrivals_ns[0]) < 0
+                or bool(np.any(np.diff(self.arrivals_ns) < 0))
+            ):
+                raise ValueError(
+                    "arrivals_ns must be non-negative and nondecreasing"
+                )
 
     def __len__(self) -> int:
         return len(self.ops)
@@ -76,6 +100,11 @@ class Trace:
             self.keys[start:stop],
             self.sizes[start:stop],
             name=f"{self.name}[{start}:{stop}]",
+            arrivals_ns=(
+                None
+                if self.arrivals_ns is None
+                else self.arrivals_ns[start:stop]
+            ),
         )
 
     def slice_indices(self, indices, name: str = "") -> "Trace":
@@ -91,6 +120,9 @@ class Trace:
             self.keys[idx],
             self.sizes[idx],
             name=name or f"{self.name}[{len(idx)} rows]",
+            arrivals_ns=(
+                None if self.arrivals_ns is None else self.arrivals_ns[idx]
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -116,30 +148,41 @@ class Trace:
     # ------------------------------------------------------------------
 
     def save(self, path: Union[str, Path]) -> None:
-        """Write as gzipped CSV: ``op,key,size`` per line."""
+        """Write as gzipped CSV: ``op,key,size[,arrival_ns]`` per line."""
         path = Path(path)
         with gzip.open(path, "wt") as fh:
-            fh.write("# op,key,size\n")
-            for op, key, size in self:
-                fh.write(f"{OP_NAMES[op]},{key},{size}\n")
+            if self.arrivals_ns is None:
+                fh.write("# op,key,size\n")
+                for op, key, size in self:
+                    fh.write(f"{OP_NAMES[op]},{key},{size}\n")
+            else:
+                fh.write("# op,key,size,arrival_ns\n")
+                arrivals = self.arrivals_ns.tolist()
+                for (op, key, size), at in zip(self, arrivals):
+                    fh.write(f"{OP_NAMES[op]},{key},{size},{at}\n")
 
     @classmethod
     def load(cls, path: Union[str, Path], name: str = "") -> "Trace":
         """Read a trace written by :meth:`save`."""
         path = Path(path)
-        ops, keys, sizes = [], [], []
+        ops, keys, sizes, arrivals = [], [], [], []
         with gzip.open(path, "rt") as fh:
             for line in fh:
                 line = line.strip()
                 if not line or line.startswith("#"):
                     continue
-                op_name, key, size = line.split(",")
-                ops.append(_OP_CODES[op_name])
-                keys.append(int(key))
-                sizes.append(int(size))
+                fields = line.split(",")
+                ops.append(_OP_CODES[fields[0]])
+                keys.append(int(fields[1]))
+                sizes.append(int(fields[2]))
+                if len(fields) > 3:
+                    arrivals.append(int(fields[3]))
         return cls(
             np.array(ops, dtype=np.uint8),
             np.array(keys, dtype=np.int64),
             np.array(sizes, dtype=np.int64),
             name=name or path.stem,
+            arrivals_ns=(
+                np.array(arrivals, dtype=np.int64) if arrivals else None
+            ),
         )
