@@ -20,6 +20,9 @@ Public API tour:
 * :mod:`repro.model` — Theorem 1 (DLWA) and Theorems 2-3 (carbon).
 * :mod:`repro.fleet` — sharded cache cluster: consistent-hash routing,
   shard lifecycle, failure/rebalance, fleet-merged observability.
+* :mod:`repro.kernel` — vectorized fast-path replay kernel (columnar
+  traces, segmented dispatch, opt-out telemetry hooks), bit-identical
+  to the scalar drivers.
 
 Quick start::
 
@@ -29,7 +32,18 @@ Quick start::
     print(result.summary_row())
 """
 
-from . import bench, cache, core, faults, fdp, fleet, model, ssd, workloads
+from . import (
+    bench,
+    cache,
+    core,
+    faults,
+    fdp,
+    fleet,
+    kernel,
+    model,
+    ssd,
+    workloads,
+)
 
 __version__ = "1.0.0"
 
@@ -40,6 +54,7 @@ __all__ = [
     "faults",
     "fdp",
     "fleet",
+    "kernel",
     "model",
     "ssd",
     "workloads",

@@ -134,6 +134,7 @@ def build_experiment(
     faults: Optional[FaultConfig] = None,
     io_path: str = "batched",
     sched: object = None,
+    admission_seed: Optional[int] = None,
 ) -> HybridCache:
     """Create a device + hybrid cache pair for one experiment arm.
 
@@ -152,6 +153,13 @@ def build_experiment(
     attaches the multi-queue scheduler so SOC/LOC/meta I/O queues on
     parallel channels and per-command latency carries GC interference
     (the latency soak's measurement path).
+    ``admission_seed`` reseeds the cache's admission policy (see
+    :attr:`~repro.cache.config.CacheConfig.admission_seed`); benches
+    pass the sweep point's seed so a randomized admission policy
+    supplied via ``cache_overrides`` is pinned by the same
+    ``point_seed`` contract as the trace, instead of silently keeping
+    its class-default seed across every arm.  An explicit
+    ``admission_seed`` in ``cache_overrides`` wins.
     """
     if not 0.0 < utilization <= 1.0:
         raise ValueError("utilization must be in (0, 1]")
@@ -166,6 +174,8 @@ def build_experiment(
         int(geometry.logical_bytes * utilization)
         - meta_pages * geometry.page_size
     )
+    overrides: Dict[str, object] = {"admission_seed": admission_seed}
+    overrides.update(cache_overrides or {})
     config = CacheConfig.for_flash_cache(
         nvm_bytes,
         page_size=geometry.page_size,
@@ -176,7 +186,7 @@ def build_experiment(
         dram_bytes=dram_bytes,
         region_bytes=scale.region_bytes,
         enable_fdp_placement=fdp,
-        **(cache_overrides or {}),
+        **overrides,
     )
     return HybridCache(device, config)
 
@@ -196,6 +206,7 @@ def run_experiment(
     faults: Optional[FaultConfig] = None,
     io_path: str = "batched",
     scenario: Optional[object] = None,
+    cache_overrides: Optional[Dict[str, object]] = None,
 ) -> RunResult:
     """Build one arm (device, cache, trace) and replay it.
 
@@ -214,8 +225,10 @@ def run_experiment(
         soc_fraction=soc_fraction,
         dram_bytes=dram_bytes,
         scale=scale,
+        cache_overrides=cache_overrides,
         faults=faults,
         io_path=io_path,
+        admission_seed=seed,
     )
     trace = make_trace(
         workload,

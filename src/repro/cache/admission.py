@@ -42,6 +42,16 @@ class AdmissionPolicy(abc.ABC):
     def _decide(self, item: CacheItem) -> bool:
         """Policy-specific decision."""
 
+    def reseed(self, seed: int) -> None:
+        """Rebind the policy's RNG to ``seed``.
+
+        Benches call this with the sweep point's ``point_seed`` so
+        admission decisions are pinned by the same contract as every
+        other random stream in a run (see
+        :func:`repro.bench.runner.point_seed`).  Deterministic
+        policies have no RNG and ignore it.
+        """
+
     @property
     def admit_ratio(self) -> float:
         return self.admitted / self.offered if self.offered else 1.0
@@ -66,6 +76,9 @@ class ProbabilisticAdmission(AdmissionPolicy):
 
     def _decide(self, item: CacheItem) -> bool:
         return self._rng.random() < self.probability
+
+    def reseed(self, seed: int) -> None:
+        self._rng = random.Random(seed)
 
 
 class DynamicRandomAdmission(AdmissionPolicy):
@@ -108,6 +121,9 @@ class DynamicRandomAdmission(AdmissionPolicy):
             self._window_offered_bytes = 0
             self._window_ops = 0
         return self._rng.random() < self.probability
+
+    def reseed(self, seed: int) -> None:
+        self._rng = random.Random(seed)
 
 
 class SizeThresholdAdmission(AdmissionPolicy):

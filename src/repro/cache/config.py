@@ -50,6 +50,13 @@ class CacheConfig:
     metadata_pages: int = 4
     metadata_flush_interval: int = 4096
     admission: Optional[AdmissionPolicy] = None
+    # When set, the admission policy is reseeded with this value at
+    # construction — the fix for randomized admission policies silently
+    # keeping their class-default seeds across sweep points.  Benches
+    # thread the point's ``point_seed`` here (see
+    # repro.bench.runner.build_experiment); ``None`` leaves whatever
+    # seed the policy was constructed with.
+    admission_seed: Optional[int] = None
     dram_op_ns: int = 2_000
     # Small-object engine selection: CacheLib's set-associative SOC or
     # the Kangaroo-style log-plus-sets extension (see
@@ -102,6 +109,8 @@ class CacheConfig:
             raise ValueError("io_retry_backoff_ns must be non-negative")
         if self.admission is None:
             self.admission = AcceptAll()
+        if self.admission_seed is not None:
+            self.admission.reseed(self.admission_seed)
 
     @property
     def nvm_bytes(self) -> int:

@@ -1,0 +1,69 @@
+"""Opt-out telemetry hooks for the kernel fast path.
+
+The simulator's telemetry has two halves, and both follow the same
+contract — **one class-level ``enabled`` flag, checked once per hot
+site, and a null subclass whose recording methods are no-ops**:
+
+* **device-side** — the FDP event log and the energy ledger.
+  ``SimulatedSSD(telemetry=False)`` swaps in
+  :class:`~repro.fdp.events.NullEventLog` and
+  :class:`~repro.ssd.energy.NullEnergyModel` (re-exported here); the
+  FTL's hot paths guard event *construction* on ``events.enabled`` so
+  a detached log never pays for building the record it would drop.
+
+* **replay-side** — the latency reservoirs and the interval-DLWA
+  series :class:`~repro.bench.driver.CacheBench` always collects.
+  :class:`KernelBench <repro.kernel.replay.KernelBench>` takes a
+  :class:`ReplayHooks` (attached, default) or :class:`NullReplayHooks`
+  (detached): attached hooks reproduce the legacy collection exactly
+  (same reservoir decimation, same poll cadence); detached hooks cost
+  one boolean test per op and leave every container empty.
+
+Detaching telemetry never changes simulated state — only what gets
+*recorded about* it.  tests/test_differential_kernel.py holds both
+halves to that: a detached run's L2P/OOB/journal/stats must equal the
+attached run's, while its logs stay empty.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..bench.metrics import IntervalPoint, LatencyReservoir
+from ..fdp.events import NullEventLog
+from ..ssd.energy import NullEnergyModel
+
+__all__ = [
+    "ReplayHooks",
+    "NullReplayHooks",
+    "NullEventLog",
+    "NullEnergyModel",
+]
+
+
+class ReplayHooks:
+    """Attached replay telemetry: reservoirs + interval series.
+
+    The kernel writes through these containers exactly as the scalar
+    driver writes its locals, so a hooked kernel run and a
+    :class:`~repro.bench.driver.CacheBench` run produce identical
+    :class:`~repro.bench.metrics.RunResult` latency/series fields.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.read_lat = LatencyReservoir()
+        self.write_lat = LatencyReservoir()
+        self.series: List[IntervalPoint] = []
+
+
+class NullReplayHooks(ReplayHooks):
+    """Detached replay telemetry: records nothing.
+
+    The containers exist (empty, so result construction needs no
+    special-casing) but the kernel skips every per-op recording site
+    behind the single ``enabled`` check.
+    """
+
+    enabled = False

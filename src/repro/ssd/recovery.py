@@ -157,20 +157,70 @@ class MappingJournal:
     synchronous flush — an unflushed TRIM would resurrect a stale
     mapping at recovery (a phantom), which is the one failure mode the
     journal exists to prevent.
+
+    Storage is run-length encoded: programs land overwhelmingly as
+    consecutive runs (``seq``/``lba``/``ppn`` each advancing by one per
+    page), so the journal keeps ``(seq, lba, ppn, count)`` runs and
+    materializes ``(seq, lba, ppn)`` tuples only on demand through the
+    :attr:`buffer` / :attr:`flushed` properties.  Flush timing is
+    unchanged — a run is split at exactly the interval boundaries the
+    per-entry append loop would flush at, so which entries a power cut
+    loses is byte-for-byte the same.  Deallocation entries
+    (``ppn == -1``) are stored as single-entry runs; they never merge.
     """
 
-    __slots__ = ("flush_interval", "buffer", "flushed")
+    __slots__ = ("flush_interval", "_buf", "_buf_len", "_flushed")
 
     def __init__(self, flush_interval: int = JOURNAL_FLUSH_INTERVAL) -> None:
         if flush_interval < 1:
             raise ValueError("flush_interval must be >= 1")
         self.flush_interval = flush_interval
-        self.buffer: List[Tuple[int, int, int]] = []
-        self.flushed: List[Tuple[int, int, int]] = []
+        self._buf: List[Tuple[int, int, int, int]] = []
+        self._buf_len = 0
+        self._flushed: List[Tuple[int, int, int, int]] = []
+
+    @staticmethod
+    def _materialize(
+        runs: List[Tuple[int, int, int, int]]
+    ) -> List[Tuple[int, int, int]]:
+        out: List[Tuple[int, int, int]] = []
+        extend = out.extend
+        for seq, lba, ppn, count in runs:
+            if count == 1:
+                out.append((seq, lba, ppn))
+            else:
+                extend(
+                    zip(
+                        range(seq, seq + count),
+                        range(lba, lba + count),
+                        range(ppn, ppn + count),
+                    )
+                )
+        return out
+
+    @property
+    def buffer(self) -> List[Tuple[int, int, int]]:
+        """Volatile entries, materialized in append order."""
+        return self._materialize(self._buf)
+
+    @property
+    def flushed(self) -> List[Tuple[int, int, int]]:
+        """Durable entries, materialized in append order."""
+        return self._materialize(self._flushed)
 
     def append(self, seq: int, lba: int, ppn: int) -> None:
-        self.buffer.append((seq, lba, ppn))
-        if len(self.buffer) >= self.flush_interval:
+        buf = self._buf
+        if buf and ppn >= 0:
+            ls, ll, lp, lc = buf[-1]
+            if seq == ls + lc and lba == ll + lc and ppn == lp + lc:
+                buf[-1] = (ls, ll, lp, lc + 1)
+                self._buf_len += 1
+                if self._buf_len >= self.flush_interval:
+                    self.force_flush()
+                return
+        buf.append((seq, lba, ppn, 1))
+        self._buf_len += 1
+        if self._buf_len >= self.flush_interval:
             self.force_flush()
 
     def append_run(self, seq: int, lba: int, ppn: int, count: int) -> None:
@@ -182,54 +232,91 @@ class MappingJournal:
         :meth:`append` loop would hit, so power-cut durability (which
         entries were flushed when) is unchanged by batching.
         """
-        buffer = self.buffer
+        buf = self._buf
+        interval = self.flush_interval
         done = 0
         while done < count:
-            take = min(count - done, self.flush_interval - len(buffer))
-            s, l, p = seq + done, lba + done, ppn + done
-            buffer.extend(
-                zip(
-                    range(s, s + take),
-                    range(l, l + take),
-                    range(p, p + take),
-                )
-            )
+            take = count - done
+            room = interval - self._buf_len
+            if take > room:
+                take = room
+            buf.append((seq + done, lba + done, ppn + done, take))
+            self._buf_len += take
             done += take
-            if len(buffer) >= self.flush_interval:
+            if self._buf_len >= interval:
                 self.force_flush()
 
     def force_flush(self) -> None:
         """Move the volatile buffer into the durable region."""
-        if self.buffer:
-            self.flushed.extend(self.buffer)
-            self.buffer.clear()
+        if self._buf:
+            self._flushed.extend(self._buf)
+            self._buf.clear()
+            self._buf_len = 0
 
     def drop_volatile(self) -> int:
         """Power cut: the unflushed buffer is gone.  Returns its size."""
-        lost = len(self.buffer)
-        self.buffer.clear()
+        lost = self._buf_len
+        self._buf.clear()
+        self._buf_len = 0
         return lost
 
     def truncate_after(self, seq: int) -> int:
         """Drop durable entries newer than ``seq`` (retroactive tear:
         the journal write describing a torn page cannot have completed
         either).  Returns the number of entries dropped."""
-        keep = len(self.flushed)
-        while keep and self.flushed[keep - 1][0] > seq:
-            keep -= 1
-        dropped = len(self.flushed) - keep
-        if dropped:
-            del self.flushed[keep:]
+        flushed = self._flushed
+        dropped = 0
+        while flushed:
+            rs, rl, rp, rc = flushed[-1]
+            if rs > seq:
+                dropped += rc
+                flushed.pop()
+                continue
+            if rs + rc - 1 > seq:
+                keep = seq - rs + 1
+                dropped += rc - keep
+                flushed[-1] = (rs, rl, rp, keep)
+            break
         return dropped
 
     def compact_upto(self, seq: int) -> None:
-        """Discard durable entries already covered by a checkpoint."""
-        self.flushed = [e for e in self.flushed if e[0] > seq]
+        """Discard durable entries already covered by a checkpoint.
+
+        ``_flushed`` is sequence-ordered (appends are monotone in seq
+        and truncation only trims the tail), so the cut point is found
+        by bisection and dropped with one slice delete.
+        """
+        flushed = self._flushed
+        lo, hi = 0, len(flushed)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            run = flushed[mid]
+            if run[0] + run[3] - 1 <= seq:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo:
+            del flushed[:lo]
+        if flushed:
+            rs, rl, rp, rc = flushed[0]
+            if rs <= seq:
+                # Straddling run: trim the covered head.
+                cut = seq - rs + 1
+                flushed[0] = (rs + cut, rl + cut, rp + cut, rc - cut)
 
     @property
     def last_durable_seq(self) -> int:
         """Sequence number of the newest flushed entry (0 if none)."""
-        return self.flushed[-1][0] if self.flushed else 0
+        if not self._flushed:
+            return 0
+        rs, _, _, rc = self._flushed[-1]
+        return rs + rc - 1
+
+    def __getstate__(self):
+        return (self.flush_interval, self._buf, self._buf_len, self._flushed)
+
+    def __setstate__(self, state) -> None:
+        (self.flush_interval, self._buf, self._buf_len, self._flushed) = state
 
 
 @dataclasses.dataclass(frozen=True)
@@ -451,6 +538,9 @@ def rebuild_ftl_state(ftl) -> RecoveryReport:
         sb.index
         for sb in ftl.superblocks
         if sb.state is SuperblockState.CLOSED
+    ]
+    ftl._zero_closed = [
+        idx for idx in ftl._closed if ftl.superblocks[idx].valid_pages == 0
     ]
     ftl._seq = max_seq
 

@@ -42,7 +42,7 @@ one intact, CRC-carrying copy — the newest sequence number wins.
 from __future__ import annotations
 
 import dataclasses
-from bisect import bisect_left
+from bisect import bisect_left, insort
 from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 from ..fdp.events import FdpEvent, FdpEventType
@@ -347,6 +347,8 @@ class PatrolScrubber:
             self.relocations_deferred += 1
             return False
         sb.valid_pages -= 1
+        if not sb.valid_pages and sb.state is SuperblockState.CLOSED:
+            insort(ftl._zero_closed, sb.index)
         key = (dest_stream[1], dest_stream[2])
         self.relocated_by_ruh[key] = self.relocated_by_ruh.get(key, 0) + 1
         return True
@@ -395,12 +397,18 @@ class PatrolScrubber:
         # complete before the block's pages are destroyed.
         ftl._inflight.clear()
         ftl._p2l[base : base + pps] = ftl._erased_p2l
-        ftl._oob[base : base + pps] = ftl._erased_oob
+        ftl._oob.clear_range(base, pps)
         if ftl.latent is not None:
             ftl.latent.on_erase(base, pps)
         pos = bisect_left(ftl._closed, sb.index)
         if pos < len(ftl._closed) and ftl._closed[pos] == sb.index:
             del ftl._closed[pos]
+        zpos = bisect_left(ftl._zero_closed, sb.index)
+        if (
+            zpos < len(ftl._zero_closed)
+            and ftl._zero_closed[zpos] == sb.index
+        ):
+            del ftl._zero_closed[zpos]
         sb.retire()
         ftl.stats.superblocks_retired += 1
         ftl.stats.scrub_blocks_retired += 1
