@@ -23,6 +23,9 @@ __all__ = [
     "LatencySoakResult",
     "FleetWindow",
     "FleetSoakResult",
+    "FailSlowWindow",
+    "FailSlowArm",
+    "FailSlowSoakResult",
 ]
 
 
@@ -673,6 +676,183 @@ class OverloadSoakResult:
             f"{self.off_pre.read_p99_ns / 1e6:.1f}ms)",
             f"governor engaged: "
             f"{'PASS' if self.governor_engaged else 'FAIL'}  "
+            f"acceptance: {'PASS' if self.acceptance else 'FAIL'}",
+        ]
+        return "\n".join(lines)
+
+
+@dataclasses.dataclass(frozen=True)
+class FailSlowWindow:
+    """Service quality over one window of the fail-slow soak."""
+
+    name: str
+    ops: int
+    gets: int
+    misses: int
+    deadline_misses: int
+    read_p99_ns: int
+    live_shards: int
+
+    @property
+    def miss_ratio(self) -> float:
+        return self.misses / self.gets if self.gets else 0.0
+
+    def summary_row(self) -> str:
+        return (
+            f"{self.name:<16} {self.ops:>8} {self.miss_ratio:>7.3f} "
+            f"{self.read_p99_ns / 1000:>10.0f} {self.deadline_misses:>9} "
+            f"{self.live_shards:>6}"
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass(frozen=True)
+class FailSlowArm:
+    """One arm of the fail-slow soak (windows + reaction counters)."""
+
+    name: str
+    pre: FailSlowWindow
+    fault: FailSlowWindow
+    recovered: FailSlowWindow
+    deadline_misses: int
+    gray_detections: int
+    quarantines: int
+    transitions: List[dict]
+
+    def to_dict(self) -> Dict[str, object]:
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass(frozen=True)
+class FailSlowSoakResult:
+    """Verdict of the fail-slow soak (gray-failure containment).
+
+    Three arms replay the identical trace on identical fleets; only
+    the fault and the reaction differ:
+
+    * ``control`` — no fault, detector and deadlines ON.  Its
+      ``recovered`` window is the counterfactual baseline, and its
+      zero reaction counters prove the detector does not false-fire on
+      a healthy fleet;
+    * ``detector_on`` — slow die injected mid-run, detector and
+      deadlines ON (the containment arm);
+    * ``detector_off`` — the same fault with no reaction enabled (the
+      damage arm: what gray failure costs an unprotected fleet).
+
+    Acceptance:
+
+    * **contained** — detector-on's recovered p99 is within
+      ``recovery_factor``× of the control's (quarantine removed the
+      slow shard, survivors carry the traffic at healthy tails);
+    * **off_inflated** — detector-off's recovered p99 stays at least
+      ``inflation_factor``× above the control's (the arm proving the
+      injected fault actually hurts — if it doesn't, the soak has
+      nothing to contain);
+    * **detector_fired** — detector-on detected and quarantined the
+      victim, and booked nonzero deadline misses (the pass is
+      attributable to the reaction path, not luck);
+    * **counters_clean** — the control arm booked zero deadline
+      misses, detections, and quarantines (reaction counters are
+      nonzero only in faulted arms).
+    """
+
+    num_shards: int
+    ops: int
+    seed: int
+    victim_shard: str
+    slow_die: int
+    slow_multiplier: float
+    fault_at_ops: int
+    deadline_ns: int
+    recovery_factor: float
+    inflation_factor: float
+    control: FailSlowArm
+    detector_on: FailSlowArm
+    detector_off: FailSlowArm
+
+    @property
+    def contained(self) -> bool:
+        baseline = self.control.recovered.read_p99_ns
+        if baseline == 0:
+            return self.detector_on.recovered.read_p99_ns == 0
+        return (
+            self.detector_on.recovered.read_p99_ns
+            <= baseline * self.recovery_factor
+        )
+
+    @property
+    def off_inflated(self) -> bool:
+        return (
+            self.detector_off.recovered.read_p99_ns
+            >= self.control.recovered.read_p99_ns * self.inflation_factor
+        )
+
+    @property
+    def detector_fired(self) -> bool:
+        return (
+            self.detector_on.gray_detections >= 1
+            and self.detector_on.quarantines >= 1
+            and self.detector_on.deadline_misses > 0
+        )
+
+    @property
+    def counters_clean(self) -> bool:
+        return (
+            self.control.deadline_misses == 0
+            and self.control.gray_detections == 0
+            and self.control.quarantines == 0
+        )
+
+    @property
+    def acceptance(self) -> bool:
+        return (
+            self.contained
+            and self.off_inflated
+            and self.detector_fired
+            and self.counters_clean
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        out = dataclasses.asdict(self)
+        out["acceptance"] = self.acceptance
+        return out
+
+    def summary_table(self) -> str:
+        header = (
+            f"{'window':<16} {'ops':>8} {'miss':>7} {'p99(us)':>10} "
+            f"{'ddl-miss':>9} {'alive':>6}"
+        )
+        rows: List[str] = []
+        for arm in (self.control, self.detector_on, self.detector_off):
+            for window in (arm.pre, arm.fault, arm.recovered):
+                named = dataclasses.replace(
+                    window, name=f"{arm.name}:{window.name}"
+                )
+                rows.append(named.summary_row())
+        on, off, ctl = self.detector_on, self.detector_off, self.control
+        lines = [
+            f"failslow-soak shards={self.num_shards} ops={self.ops} "
+            f"seed={self.seed:#x}",
+            f"slow die {self.slow_die} x{self.slow_multiplier:g} on "
+            f"{self.victim_shard} at op {self.fault_at_ops}; "
+            f"deadline {self.deadline_ns / 1e6:g}ms",
+            header,
+            *rows,
+            f"contained (on <= {self.recovery_factor:g}x control): "
+            f"{'PASS' if self.contained else 'FAIL'} "
+            f"({on.recovered.read_p99_ns / 1000:.0f}us vs "
+            f"{ctl.recovered.read_p99_ns / 1000:.0f}us)",
+            f"off inflated (off >= {self.inflation_factor:g}x control): "
+            f"{'PASS' if self.off_inflated else 'FAIL'} "
+            f"({off.recovered.read_p99_ns / 1000:.0f}us vs "
+            f"{ctl.recovered.read_p99_ns / 1000:.0f}us)",
+            f"detector fired: {'PASS' if self.detector_fired else 'FAIL'} "
+            f"(detections={on.gray_detections} quarantines={on.quarantines} "
+            f"deadline_misses={on.deadline_misses})",
+            f"control counters clean: "
+            f"{'PASS' if self.counters_clean else 'FAIL'}  "
             f"acceptance: {'PASS' if self.acceptance else 'FAIL'}",
         ]
         return "\n".join(lines)

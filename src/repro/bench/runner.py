@@ -134,6 +134,7 @@ def build_experiment(
     faults: Optional[FaultConfig] = None,
     io_path: str = "batched",
     sched: object = None,
+    failslow: object = None,
     admission_seed: Optional[int] = None,
 ) -> HybridCache:
     """Create a device + hybrid cache pair for one experiment arm.
@@ -153,6 +154,10 @@ def build_experiment(
     attaches the multi-queue scheduler so SOC/LOC/meta I/O queues on
     parallel channels and per-command latency carries GC interference
     (the latency soak's measurement path).
+    ``failslow`` (a :class:`~repro.faults.failslow.FailSlowConfig` or
+    live model; requires ``sched``) attaches the fail-slow timing
+    overlay — gray-failure latency degradation that never perturbs
+    simulated state (the fail-slow soak's injection path).
     ``admission_seed`` reseeds the cache's admission policy (see
     :attr:`~repro.cache.config.CacheConfig.admission_seed`); benches
     pass the sweep point's seed so a randomized admission policy
@@ -165,7 +170,12 @@ def build_experiment(
         raise ValueError("utilization must be in (0, 1]")
     geometry = scale.geometry()
     device = SimulatedSSD(
-        geometry, fdp=fdp, faults=faults, io_path=io_path, sched=sched
+        geometry,
+        fdp=fdp,
+        faults=faults,
+        io_path=io_path,
+        sched=sched,
+        failslow=failslow,
     )
     # Reserve the metadata slice out of the cache's share so a
     # 100%-utilization layout still fits the advertised capacity.

@@ -17,6 +17,14 @@ from .errors import (
     ProgramFailError,
     UncorrectableReadError,
 )
+from .failslow import (
+    SLOW_DIE,
+    SLOW_STALL,
+    FailSlowConfig,
+    FailSlowModel,
+    FailSlowPlan,
+    ScriptedSlowdown,
+)
 from .latent import (
     OUTCOME_CLEAN,
     OUTCOME_CORRECTABLE,
@@ -40,6 +48,12 @@ __all__ = [
     "FaultConfig",
     "FaultModel",
     "HealthLogPage",
+    "FailSlowConfig",
+    "FailSlowModel",
+    "FailSlowPlan",
+    "ScriptedSlowdown",
+    "SLOW_DIE",
+    "SLOW_STALL",
     "LatentErrorConfig",
     "LatentErrorModel",
     "OUTCOME_CLEAN",

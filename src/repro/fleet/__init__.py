@@ -32,7 +32,12 @@ from .driver import (
     partition_trace,
     replay_partitioned,
 )
-from .errors import SHARD_UNAVAILABLE_CAUSES, FleetError, ShardUnavailableError
+from .errors import (
+    SHARD_UNAVAILABLE_CAUSES,
+    FleetError,
+    ShardUnavailableError,
+    SlowShardError,
+)
 from .governor import GovernorConfig, GovernorState, LoadGovernor, OverloadSignals
 from .hashring import ConsistentHashRouter
 from .monitor import (
@@ -71,6 +76,7 @@ __all__ = [
     "ShardSpec",
     "ShardState",
     "ShardUnavailableError",
+    "SlowShardError",
     "partition_trace",
     "replay_partitioned",
 ]

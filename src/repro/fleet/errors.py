@@ -21,7 +21,12 @@ from __future__ import annotations
 
 from typing import Optional
 
-__all__ = ["FleetError", "ShardUnavailableError", "SHARD_UNAVAILABLE_CAUSES"]
+__all__ = [
+    "FleetError",
+    "ShardUnavailableError",
+    "SlowShardError",
+    "SHARD_UNAVAILABLE_CAUSES",
+]
 
 
 class FleetError(Exception):
@@ -60,6 +65,34 @@ class ShardUnavailableError(FleetError):
         self.cause = cause
         self.queue = queue
         self.queue_depth = queue_depth
+
+
+class SlowShardError(FleetError):
+    """One shard answered, but not within the read deadline.
+
+    Raised by :class:`~repro.fleet.shard.CacheShard` when a GET's
+    simulated completion exceeds the configured deadline — the
+    fail-slow signature: the device is *available* (SMART healthy, no
+    error) yet too slow to be useful.  Deliberately not a
+    :class:`ShardUnavailableError`: the router must not retry it (a
+    retry of a slow read is just a slower read) nor feed it to the
+    circuit breaker (availability is fine); it degrades the GET to a
+    counted ``deadline_miss`` and leaves containment to the
+    gray-failure detector's quarantine path.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        shard_id: str,
+        deadline_ns: int = 0,
+        latency_ns: int = 0,
+    ) -> None:
+        super().__init__(message)
+        self.shard_id = shard_id
+        self.deadline_ns = deadline_ns
+        self.latency_ns = latency_ns
 
 
 def _unavailable_causes():

@@ -20,12 +20,26 @@ Scripted failures ride the same loop: a :class:`ShardFailurePlan`
 fully deterministic) injects ``kill`` / ``retire`` events at exact op
 counts, which is how the fleet soak stages its mid-run shard loss.
 Everything is driven by op counts, never wall-clock time.
+
+The monitor also carries the **gray-failure detector**
+(``latency_detector=True``): fail-slow hardware passes every SMART
+check above, so the detector watches the *tail* instead.  Each poll it
+takes every live shard's rolling GET p99
+(:meth:`~repro.fleet.shard.CacheShard.recent_read_p99`) and compares
+it against the fleet's lower-median p99 — a shard whose tail sits
+``gray_ratio`` times above its peers for ``gray_streak_polls``
+consecutive polls is declared gray-failed and (with
+``quarantine_slow_shards``) drained out through
+:meth:`~repro.fleet.router.FleetCache.quarantine_shard`.  The lower
+median keeps the baseline honest when a minority of shards is slow;
+``latency_floor_ns`` keeps tiny absolute tails (everything healthy and
+fast) from ever tripping the ratio.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import TYPE_CHECKING, Iterable, List, Optional
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional
 
 __all__ = [
     "MonitorConfig",
@@ -40,13 +54,24 @@ if TYPE_CHECKING:  # pragma: no cover - type-only import
 
 @dataclasses.dataclass(frozen=True)
 class MonitorConfig:
-    """Thresholds for the health-driven lifecycle transitions."""
+    """Thresholds for the health-driven lifecycle transitions.
+
+    The ``latency_*`` / ``gray_*`` knobs configure the gray-failure
+    detector; with ``latency_detector=False`` (the default) the
+    monitor is exactly the pre-detector, SMART-only control loop.
+    """
 
     poll_interval_ops: int = 2000
     degraded_spare_pct: float = 70.0
     retire_spare_pct: float = 40.0
     degraded_media_errors: int = 50
     retire_percent_used: float = 90.0
+    latency_detector: bool = False
+    latency_min_samples: int = 64
+    latency_floor_ns: int = 1_000_000
+    gray_ratio: float = 4.0
+    gray_streak_polls: int = 2
+    quarantine_slow_shards: bool = True
 
     def __post_init__(self) -> None:
         if self.poll_interval_ops < 1:
@@ -55,6 +80,14 @@ class MonitorConfig:
             raise ValueError(
                 "need 0 <= retire_spare_pct <= degraded_spare_pct"
             )
+        if self.latency_min_samples < 1:
+            raise ValueError("latency_min_samples must be positive")
+        if self.latency_floor_ns < 0:
+            raise ValueError("latency_floor_ns must be non-negative")
+        if self.gray_ratio <= 1.0:
+            raise ValueError("gray_ratio must exceed 1.0")
+        if self.gray_streak_polls < 1:
+            raise ValueError("gray_streak_polls must be positive")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -115,6 +148,16 @@ class FleetHealthMonitor:
         self.polls = 0
         self.transitions: List[dict] = []
         self._last_poll_ops = 0
+        # Gray-failure detector state/counters.
+        self.latency_polls = 0
+        self.gray_failure_detections = 0
+        self.quarantines = 0
+        self._slow_streaks: Dict[str, int] = {}
+        # Last latency verdict per shard (the nvme tool's view).
+        self.latency_verdicts: Dict[str, dict] = {}
+        # Let fleet.stats_dict() surface our counters (satellite:
+        # observability without reaching into monitor internals).
+        fleet.monitor = self
 
     # ------------------------------------------------------------------
 
@@ -181,6 +224,65 @@ class FleetHealthMonitor:
                 )
         return fired
 
+    def _poll_latency(self, ops_done: int) -> List[dict]:
+        """One gray-failure detector pass over the live shards.
+
+        A shard is *slow* when its rolling GET p99 exceeds
+        ``max(latency_floor_ns, gray_ratio * fleet lower-median p99)``;
+        ``gray_streak_polls`` consecutive slow verdicts fire a
+        detection (and, by default, a quarantine).  Needs at least two
+        live shards with full sample windows — a fleet of one has no
+        peers to be slower than.
+        """
+        cfg = self.config
+        fired: List[dict] = []
+        p99s: Dict[str, int] = {}
+        for shard_id in sorted(self.fleet.shards):
+            shard = self.fleet.shards[shard_id]
+            if not shard.alive:
+                self._slow_streaks.pop(shard_id, None)
+                continue
+            p99 = shard.recent_read_p99(cfg.latency_min_samples)
+            if p99 is not None:
+                p99s[shard_id] = p99
+        if len(p99s) < 2:
+            return fired
+        ordered = sorted(p99s.values())
+        # Lower median: a minority of slow shards cannot drag the
+        # baseline up and mask themselves.
+        median = ordered[(len(ordered) - 1) // 2]
+        threshold = max(cfg.latency_floor_ns, cfg.gray_ratio * median)
+        for shard_id, p99 in sorted(p99s.items()):
+            slow = p99 > threshold
+            streak = self._slow_streaks.get(shard_id, 0) + 1 if slow else 0
+            self._slow_streaks[shard_id] = streak
+            self.latency_verdicts[shard_id] = {
+                "p99_ns": p99,
+                "fleet_median_ns": median,
+                "threshold_ns": threshold,
+                "slow": slow,
+                "streak": streak,
+            }
+            if slow and streak == cfg.gray_streak_polls:
+                self.gray_failure_detections += 1
+                fired.append(
+                    {
+                        "event": "gray_failure",
+                        "shard_id": shard_id,
+                        "reason": "latency",
+                        "ops_done": ops_done,
+                        "p99_ns": p99,
+                        "fleet_median_ns": median,
+                    }
+                )
+                if cfg.quarantine_slow_shards:
+                    record = self.fleet.quarantine_shard(
+                        shard_id, reason="gray-failure"
+                    )
+                    self.quarantines += 1
+                    fired.append({**record, "ops_done": ops_done})
+        return fired
+
     # ------------------------------------------------------------------
 
     def observe(self, ops_done: int) -> List[dict]:
@@ -198,6 +300,23 @@ class FleetHealthMonitor:
             self._last_poll_ops = ops_done
             self.polls += 1
             fired.extend(self._poll_health(ops_done))
+            if self.config.latency_detector:
+                self.latency_polls += 1
+                fired.extend(self._poll_latency(ops_done))
         if fired:
             self.transitions.extend(fired)
         return fired
+
+    def counters(self) -> dict:
+        """Monitor observability (surfaced via ``FleetCache.stats_dict``)."""
+        return {
+            "polls": self.polls,
+            "latency_polls": self.latency_polls,
+            "transitions": len(self.transitions),
+            "gray_failure_detections": self.gray_failure_detections,
+            "quarantines": self.quarantines,
+            "scripted_exhausted": self.plan.exhausted,
+            "latency_verdicts": {
+                sid: dict(v) for sid, v in sorted(self.latency_verdicts.items())
+            },
+        }

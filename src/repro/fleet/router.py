@@ -37,7 +37,7 @@ from typing import Dict, List, Optional, Sequence
 from ..cache.hybrid import MISS
 from ..model.carbon import CarbonParams, total_co2e_kg
 from ..ssd.sched import LatencyHistogram
-from .errors import ShardUnavailableError
+from .errors import ShardUnavailableError, SlowShardError
 from .governor import GovernorConfig, LoadGovernor
 from .hashring import ConsistentHashRouter
 from .shard import CacheShard, ShardState
@@ -60,6 +60,11 @@ class FleetConfig:
     from the given config (brownout/shed write admission + bounded
     retry budget).  ``None`` — the default — is the exact pre-governor
     code path.
+
+    ``deadline_ns`` bounds every GET: a read whose simulated completion
+    exceeds the deadline degrades to a counted ``deadline_miss``
+    instead of blocking the closed loop on a fail-slow device.
+    ``None`` — the default — is the exact pre-deadline code path.
     """
 
     vnodes: int = 64
@@ -69,8 +74,11 @@ class FleetConfig:
     breaker_failure_threshold: int = 3
     breaker_cooldown_ops: int = 512
     governor: Optional[GovernorConfig] = None
+    deadline_ns: Optional[int] = None
 
     def __post_init__(self) -> None:
+        if self.deadline_ns is not None and self.deadline_ns <= 0:
+            raise ValueError("deadline_ns must be positive (or None)")
         if self.max_retries < 0:
             raise ValueError("max_retries must be non-negative")
         if self.retry_backoff_ns < 0:
@@ -90,6 +98,7 @@ class FleetGetResult:
     shard_id: Optional[str]
     completion_ns: int
     degraded: bool = False  # served as a miss because the shard is down
+    deadline_missed: bool = False  # served as a miss: read beat by deadline
 
     @property
     def miss(self) -> bool:
@@ -185,6 +194,9 @@ class FleetCache:
                 shard.attach_governor(LoadGovernor(self.config.governor))
         self.shadow: Dict[int, str] = {}  # key -> owner of last acked SET
         self.events: List[dict] = []  # membership/lifecycle event log
+        # Back-reference set by FleetHealthMonitor so stats_dict() can
+        # surface detector counters without callers holding the monitor.
+        self.monitor = None
 
         self.ops = 0  # router op counter (breaker clock)
         self.gets = 0
@@ -197,6 +209,8 @@ class FleetCache:
         self.dropped_sets = 0
         self.deletes = 0
         self.retries = 0
+        self.deadline_misses = 0
+        self.quarantined_shards = 0
         self.rebalance_moved_items = 0
         self.rebalance_moved_bytes = 0
         self.rebalance_failed_items = 0
@@ -245,7 +259,25 @@ class FleetCache:
             )
         for attempt in range(self.config.max_retries + 1):
             try:
-                hit, where, done = shard.get(key, now_ns)
+                hit, where, done = shard.get(
+                    key, now_ns, deadline_ns=self.config.deadline_ns
+                )
+            except SlowShardError:
+                # The shard answered, too late.  No retry (a retry of a
+                # slow read is just a slower read), no breaker failure
+                # (availability is fine — containment belongs to the
+                # gray-failure detector): the GET degrades to a counted
+                # deadline miss and the loop moves on at the deadline.
+                self.deadline_misses += 1
+                breaker.record_success()
+                self._note_miss(key)
+                return FleetGetResult(
+                    False,
+                    MISS,
+                    shard.shard_id,
+                    shard.clock_ns,
+                    deadline_missed=True,
+                )
             except ShardUnavailableError:
                 breaker.record_failure(self.ops)
                 if attempt < self.config.max_retries and shard.allow_retry():
@@ -394,6 +426,22 @@ class FleetCache:
         self.events.append(event)
         return event
 
+    def quarantine_shard(
+        self, shard_id: str, *, reason: str = "gray-failure"
+    ) -> dict:
+        """Drain a sustained-slow shard out of service.
+
+        The fail-slow containment action: the shard is *healthy* by
+        every SMART measure but too slow to keep, so it goes through
+        the planned-retirement path (leave the ring, drain resident
+        items to survivors, power off) rather than the kill path — its
+        data is perfectly readable and moving it avoids a miss storm.
+        """
+        record = self.retire_shard(shard_id, reason=reason)
+        record["event"] = "quarantine"
+        self.quarantined_shards += 1
+        return record
+
     def add_shard(self, shard: CacheShard) -> None:
         """Grow the fleet (new keys' arcs move to the new shard)."""
         if shard.shard_id in self.shards:
@@ -520,6 +568,11 @@ class FleetCache:
             "dropped_sets": self.dropped_sets,
             "deletes": self.deletes,
             "retries": self.retries,
+            "deadline_misses": self.deadline_misses,
+            "quarantined_shards": self.quarantined_shards,
+            "monitor": (
+                None if self.monitor is None else self.monitor.counters()
+            ),
             "rebalance": {
                 "moved_items": self.rebalance_moved_items,
                 "moved_bytes": self.rebalance_moved_bytes,

@@ -31,7 +31,8 @@ from __future__ import annotations
 
 import dataclasses
 import enum
-from typing import TYPE_CHECKING, Dict, Optional, Tuple
+from collections import deque
+from typing import TYPE_CHECKING, Deque, Dict, Optional, Tuple
 
 from ..cache.hybrid import (
     BROWNOUT_HEALTHY,
@@ -42,11 +43,16 @@ from ..cache.hybrid import (
 )
 from ..ssd.errors import QueueFullError
 from ..ssd.zns import ZnsHostLog, ZonedSSD
-from .errors import SHARD_UNAVAILABLE_CAUSES, ShardUnavailableError
+from .errors import (
+    SHARD_UNAVAILABLE_CAUSES,
+    ShardUnavailableError,
+    SlowShardError,
+)
 from .governor import GovernorState, LoadGovernor, OverloadSignals
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
     from ..bench.runner import Scale
+    from ..faults.failslow import FailSlowConfig
     from ..faults.model import FaultConfig, HealthLogPage
     from ..ssd.sched import LatencyHistogram
 
@@ -78,6 +84,7 @@ class ShardSpec:
     scale: Optional["Scale"] = None
     faults: Optional["FaultConfig"] = None
     sched: bool = True
+    failslow: Optional["FailSlowConfig"] = None
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -86,6 +93,13 @@ class ShardSpec:
             )
         if not self.shard_id:
             raise ValueError("shard_id must be non-empty")
+        if self.failslow is not None and (
+            not self.sched or self.backend == "zns"
+        ):
+            raise ValueError(
+                "failslow rides the scheduler overlay: it needs sched=True "
+                "and a hybrid backend"
+            )
 
     def build(self) -> "CacheShard":
         # Imported here, not at module level: repro.bench imports
@@ -105,6 +119,7 @@ class ShardSpec:
             scale=scale,
             faults=self.faults,
             sched=True if self.sched else None,
+            failslow=self.failslow,
         )
         return CacheShard(self.shard_id, _HybridBackend(cache), self)
 
@@ -174,6 +189,10 @@ class _HybridBackend:
         sched = self.cache.device.scheduler
         if sched is not None:
             sched.clear_histograms()
+
+    def failslow_status(self) -> Optional[dict]:
+        model = self.cache.device.failslow
+        return None if model is None else model.status_dict()
 
     def page_counters(self) -> Tuple[int, int]:
         s = self.cache.device.stats
@@ -292,6 +311,9 @@ class _ZnsBackend:
     def clear_histograms(self) -> None:
         pass
 
+    def failslow_status(self) -> Optional[dict]:
+        return None
+
     def page_counters(self) -> Tuple[int, int]:
         host = self.log.appended_pages
         return host, host + self.log.host_copied_pages
@@ -334,6 +356,9 @@ class CacheShard:
     relies on.
     """
 
+    # Rolling latency-window depth for the gray-failure detector.
+    _RECENT_READS = 512
+
     def __init__(self, shard_id: str, backend, spec: Optional[ShardSpec] = None) -> None:
         self.shard_id = shard_id
         self.backend = backend
@@ -345,6 +370,11 @@ class CacheShard:
         self.sets = 0
         self.deletes = 0
         self.errors_translated = 0
+        self.deadline_misses = 0
+        # Host-observed GET latencies (simulated), the gray-failure
+        # detector's always-on signal.  Deadline misses record the
+        # censored deadline value so a clamped shard still looks slow.
+        self.recent_read_ns: Deque[int] = deque(maxlen=self._RECENT_READS)
         self.died_at_ops: Optional[int] = None
         # Per-queue QueueFullError rejections seen at this boundary.
         self.queue_rejections: Dict[str, int] = {}
@@ -423,8 +453,22 @@ class CacheShard:
 
     # -- data path ------------------------------------------------------
 
-    def get(self, key: int, now_ns: Optional[int] = None) -> Tuple[bool, str, int]:
-        """Look up a key; returns ``(hit, where, completion_ns)``."""
+    def get(
+        self,
+        key: int,
+        now_ns: Optional[int] = None,
+        *,
+        deadline_ns: Optional[int] = None,
+    ) -> Tuple[bool, str, int]:
+        """Look up a key; returns ``(hit, where, completion_ns)``.
+
+        With ``deadline_ns`` set, a GET whose simulated completion lands
+        more than the deadline past its arrival raises
+        :class:`SlowShardError` instead: the host stops waiting at the
+        deadline (the shard clock advances exactly that far — the
+        device's own busy horizon is untouched, the read still finishes
+        late on the media) and the caller books a ``deadline_miss``.
+        """
         self._check_alive("get")
         now = self.clock_ns if now_ns is None else now_ns
         self.gets += 1
@@ -432,6 +476,19 @@ class CacheShard:
             hit, where, done = self.backend.get(key, now)
         except SHARD_UNAVAILABLE_CAUSES as exc:
             raise self._translate("get", exc) from exc
+        latency = done - now
+        if deadline_ns is not None and latency > deadline_ns:
+            self.deadline_misses += 1
+            self.recent_read_ns.append(deadline_ns)
+            self.clock_ns = now + deadline_ns
+            raise SlowShardError(
+                f"shard {self.shard_id!r} get exceeded deadline "
+                f"({latency} ns > {deadline_ns} ns)",
+                shard_id=self.shard_id,
+                deadline_ns=deadline_ns,
+                latency_ns=latency,
+            )
+        self.recent_read_ns.append(latency)
         if hit:
             self.hits += 1
         self.clock_ns = done
@@ -509,6 +566,24 @@ class CacheShard:
     def clear_histograms(self) -> None:
         self.backend.clear_histograms()
 
+    def recent_read_p99(self, min_samples: int = 1) -> Optional[int]:
+        """Nearest-rank p99 of the rolling GET-latency window.
+
+        ``None`` until the window holds ``min_samples`` observations —
+        the detector's guard against judging a shard on a handful of
+        reads after a window reset.
+        """
+        n = len(self.recent_read_ns)
+        if n == 0 or n < min_samples:
+            return None
+        ordered = sorted(self.recent_read_ns)
+        rank = max(1, -(-99 * n // 100))  # ceil(0.99 * n)
+        return ordered[rank - 1]
+
+    def failslow_status(self) -> Optional[dict]:
+        """The backing device's fail-slow overlay status (or ``None``)."""
+        return self.backend.failslow_status()
+
     @property
     def hit_ratio(self) -> float:
         return self.hits / self.gets if self.gets else 0.0
@@ -539,6 +614,7 @@ class CacheShard:
             "deletes": self.deletes,
             "hit_ratio": self.hit_ratio,
             "errors_translated": self.errors_translated,
+            "deadline_misses": self.deadline_misses,
             "queue_rejections": dict(sorted(self.queue_rejections.items())),
             "dlwa": self.dlwa,
             "clock_ns": self.clock_ns,

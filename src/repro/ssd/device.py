@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
+from ..faults.failslow import FailSlowConfig, FailSlowModel
 from ..faults.latent import LatentErrorConfig, LatentErrorModel
 from ..faults.model import FaultConfig, FaultModel, HealthLogPage
 from ..fdp.config import FdpConfiguration, default_configuration
@@ -100,6 +101,7 @@ class SimulatedSSD:
         latent: "LatentErrorConfig | LatentErrorModel | None" = None,
         scrub: "ScrubConfig | PatrolScrubber | bool | None" = None,
         sched: "SchedConfig | bool | None" = None,
+        failslow: "FailSlowConfig | FailSlowModel | None" = None,
         telemetry: bool = True,
     ) -> None:
         self.geometry = geometry
@@ -125,6 +127,12 @@ class SimulatedSSD:
         self._latent_spec = latent
         self._scrub_spec = scrub
         self._sched_spec = sched
+        if failslow is not None and (sched is None or sched is False):
+            raise ValueError(
+                "failslow is a scheduler timing overlay; pass sched=True "
+                "(or a SchedConfig) to attach one"
+            )
+        self._failslow_spec = failslow
         # Telemetry hooks (event log + energy ledger) are opt-out: with
         # telemetry=False the device runs with detached null hooks that
         # record nothing and cost nothing per op (the kernel fast
@@ -158,13 +166,23 @@ class SimulatedSSD:
             return spec
         return PatrolScrubber(spec)
 
+    def _new_failslow(self) -> Optional[FailSlowModel]:
+        if self._failslow_spec is None:
+            return None
+        if isinstance(self._failslow_spec, FailSlowModel):
+            return self._failslow_spec
+        return FailSlowModel(self._failslow_spec)
+
     def _new_sched(self) -> Optional[MultiQueueScheduler]:
         spec = self._sched_spec
         if spec is None or spec is False:
             return None
         config = spec if isinstance(spec, SchedConfig) else None
         return MultiQueueScheduler(
-            config, geometry=self.geometry, timings=self._timings
+            config,
+            geometry=self.geometry,
+            timings=self._timings,
+            failslow=self._new_failslow(),
         )
 
     def _new_ftl(self) -> Ftl:
@@ -352,6 +370,19 @@ class SimulatedSSD:
         it never changes what a command writes, only when it completes.
         """
         return self.ftl.sched
+
+    @property
+    def failslow(self) -> Optional[FailSlowModel]:
+        """The scheduler's fail-slow timing overlay, or ``None``.
+
+        Attach one with ``failslow=FailSlowConfig(...)`` (requires
+        ``sched``); :meth:`format` rebuilds it from the config (a live
+        :class:`~repro.faults.failslow.FailSlowModel` is kept and
+        re-bound instead).  Like the scheduler it decorates, it only
+        stretches completion times — no simulated state depends on it.
+        """
+        sched = self.ftl.sched
+        return None if sched is None else sched.failslow
 
     def _host_channel(self, lba: int) -> int:
         """Channel the first page of a host command occupies.

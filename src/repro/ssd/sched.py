@@ -47,8 +47,9 @@ from __future__ import annotations
 
 import dataclasses
 from collections import deque
-from typing import Deque, Dict, List, Mapping, Optional, Tuple
+from typing import Deque, Dict, List, Mapping, Optional, Tuple, Union
 
+from ..faults.failslow import FailSlowConfig, FailSlowModel
 from .errors import QueueFullError
 from .geometry import Geometry
 from .latency import NandTimings
@@ -331,6 +332,7 @@ class MultiQueueScheduler:
         *,
         geometry: Optional[Geometry] = None,
         timings: Optional[NandTimings] = None,
+        failslow: Optional[Union[FailSlowConfig, FailSlowModel]] = None,
     ) -> None:
         self.config = config or SchedConfig()
         self.timings = timings or NandTimings()
@@ -340,6 +342,14 @@ class MultiQueueScheduler:
             self.channels = geometry.dies * geometry.planes_per_die
         else:
             self.channels = 4
+        # Fail-slow timing overlay: consulted when placing commands and
+        # background segments, never touches any other scheduler state.
+        if failslow is not None and not isinstance(failslow, FailSlowModel):
+            failslow = FailSlowModel(failslow)
+        self.failslow = failslow
+        if self.failslow is not None:
+            planes = geometry.planes_per_die if geometry is not None else 1
+            self.failslow.bind(self.channels, planes)
         # Per-channel service horizon and pending background segments
         # (kind, duration_ns, ready_ns) in arrival order.
         self._free_at: List[int] = [0] * self.channels
@@ -489,10 +499,15 @@ class MultiQueueScheduler:
                 for off in range(0, npages, seg)
             ]
         backlog = self._backlog[channel]
+        failslow = self.failslow
         for dur in segments:
+            if failslow is not None:
+                dur = failslow.scale_background(kind, channel, dur, now_ns)
             backlog.append((kind, dur, now_ns))
             self.background_ns[kind] += dur
             self.background_segments[kind] += 1
+        if failslow is not None and kind == ERASE:
+            failslow.on_erase(channel, now_ns)
 
     def _advance_channel(self, channel: int, horizon_ns: int) -> int:
         """Run background segments that start before ``horizon_ns``.
@@ -599,11 +614,16 @@ class MultiQueueScheduler:
     def _run(self, cmd: _Command, q: _Queue) -> None:
         free = self._advance_channel(cmd.channel, cmd.submit_ns)
         start = cmd.submit_ns if cmd.submit_ns > free else free
+        duration = cmd.duration_ns
+        if self.failslow is not None:
+            start, duration = self.failslow.adjust(
+                cmd.op, cmd.channel, start, duration
+            )
         wait = start - cmd.submit_ns
         if wait > 0:
             self.host_wait_ns += wait
             self.gc_blocked_commands += 1
-        complete = start + cmd.duration_ns
+        complete = start + duration
         self._free_at[cmd.channel] = complete
         self.host_commands += 1
         self.dispatch_log.append((cmd.queue, cmd.ticket))
@@ -677,6 +697,9 @@ class MultiQueueScheduler:
             "gc_blocked_commands": self.gc_blocked_commands,
             "background_ns": dict(self.background_ns),
             "background_segments": dict(self.background_segments),
+            "failslow": (
+                None if self.failslow is None else self.failslow.status_dict()
+            ),
             "queues": {
                 name: {
                     "weight": q.weight,

@@ -11,6 +11,7 @@ workflow over a pickled :class:`~repro.ssd.device.SimulatedSSD`:
     python -m repro.tools.nvme fdp-events dev.pkl --last 10
     python -m repro.tools.nvme smart dev.pkl
     python -m repro.tools.nvme scrub-status dev.pkl
+    python -m repro.tools.nvme failslow-status dev.pkl
     python -m repro.tools.nvme format dev.pkl
 
 Device state persists across invocations in the pickle file, so other
@@ -26,6 +27,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+from ..faults.failslow import FailSlowConfig
 from ..faults.latent import LatentErrorConfig
 from ..ssd.device import SimulatedSSD
 from ..ssd.geometry import Geometry
@@ -50,6 +52,17 @@ def save_device(device: SimulatedSSD, path: str) -> None:
     tmp.replace(path)
 
 
+def _parse_slow_die(spec: str) -> tuple:
+    """Parse a ``DIE:MULT`` spec like ``1:8`` into ``(die, multiplier)``."""
+    try:
+        die_str, mult_str = spec.split(":", 1)
+        return int(die_str), float(mult_str)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"expected DIE:MULT (e.g. 1:8), got {spec!r}"
+        ) from exc
+
+
 def _cmd_create(args: argparse.Namespace) -> int:
     geometry = Geometry(
         page_size=args.page_size,
@@ -65,12 +78,23 @@ def _cmd_create(args: argparse.Namespace) -> int:
             retention_rate=2e-4,
             wear_factor=0.05,
         )
+    failslow = None
+    if args.slow_die:
+        failslow = FailSlowConfig(die_multipliers=dict(args.slow_die))
     device = SimulatedSSD(
-        geometry, fdp=args.fdp, latent=latent, scrub=args.scrub
+        geometry,
+        fdp=args.fdp,
+        latent=latent,
+        scrub=args.scrub,
+        sched=True if (args.sched or failslow is not None) else None,
+        failslow=failslow,
     )
     save_device(device, args.device)
     extras = [flag for flag, on in (
-        ("latent errors", args.latent), ("patrol scrub", args.scrub)
+        ("latent errors", args.latent),
+        ("patrol scrub", args.scrub),
+        ("scheduler", device.scheduler is not None),
+        ("fail-slow overlay", failslow is not None),
     ) if on]
     print(
         f"created {'FDP' if args.fdp else 'conventional'} device at "
@@ -223,6 +247,61 @@ def _cmd_recover(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_failslow_status(args: argparse.Namespace) -> int:
+    device = load_device(args.device)
+    model = device.failslow
+    if model is None:
+        print("fail-slow overlay   : not attached")
+        return 0
+    status = model.status_dict()
+    planes = status["planes_per_die"] or 1
+    print(
+        f"fail-slow overlay   : "
+        f"{'ACTIVE' if status['enabled'] else 'attached (quiescent)'}"
+    )
+    print(f"commands seen       : {status['commands_seen']}")
+    # Fold the per-channel view back to per-die multipliers (dynamic
+    # entries compose multiplicatively on top of the static config).
+    by_die: dict = {}
+    for ch, mult in status["static_multipliers"].items():
+        by_die.setdefault(ch // planes, {})[ch] = mult
+    for ch, entries in status["dynamic_multipliers"].items():
+        slot = by_die.setdefault(ch // planes, {})
+        mult = slot.get(ch, 1.0)
+        for pair in entries:
+            mult *= pair[0]
+        slot[ch] = mult
+    if by_die:
+        print("active die multipliers:")
+        for die in sorted(by_die):
+            per_channel = by_die[die]
+            label = ", ".join(
+                f"ch{ch}x{mult:g}" for ch, mult in sorted(per_channel.items())
+            )
+            print(f"  die {die:<3}: {label}")
+    else:
+        print("active die multipliers: none")
+    print(f"slowed commands     : {status['slowed_commands']}")
+    print(f"slow extra ns       : {status['slow_extra_ns']}")
+    print(f"stall windows served: {status['stalls_served']}")
+    print(f"stalled ns total    : {status['stall_ns']}")
+    print(f"creeped reads       : {status['creeped_commands']}")
+    print(f"creep extra ns      : {status['creep_extra_ns']}")
+    print(f"background slowed   : {status['background_slowed']}")
+    print(f"background extra ns : {status['background_extra_ns']}")
+    print(f"runtime activations : {status['activations']}")
+    print(
+        f"scripted onsets     : {status['scripted_activated']} fired, "
+        f"{status['scripted_pending']} pending"
+    )
+    if status["die_erases"]:
+        worn = ", ".join(
+            f"die{d}={n}" for d, n in sorted(status["die_erases"].items())
+        )
+        print(f"erases per die      : {worn}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-nvme",
@@ -246,6 +325,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--scrub", action="store_true",
         help="attach a background patrol scrubber with default policy",
     )
+    create.add_argument(
+        "--sched", action="store_true",
+        help="attach the multi-queue scheduler (timing overlay)",
+    )
+    create.add_argument(
+        "--slow-die", type=_parse_slow_die, action="append", default=[],
+        metavar="DIE:MULT",
+        help=(
+            "attach a fail-slow overlay degrading DIE by MULT (repeatable; "
+            "implies --sched)"
+        ),
+    )
     create.set_defaults(func=_cmd_create)
 
     for name, func, help_text in (
@@ -253,6 +344,8 @@ def build_parser() -> argparse.ArgumentParser:
         ("fdp-stats", _cmd_fdp_stats, "FDP statistics log page"),
         ("smart", _cmd_smart, "wear and write-amplification counters"),
         ("scrub-status", _cmd_scrub_status, "patrol-scrub progress"),
+        ("failslow-status", _cmd_failslow_status,
+         "fail-slow overlay: die multipliers, stalls, creep"),
         ("format", _cmd_format, "reset the device to a clean state"),
         ("power-cut", _cmd_power_cut, "lose power: tear in-flight writes"),
         ("recover", _cmd_recover, "power-on recovery: rebuild the L2P map"),

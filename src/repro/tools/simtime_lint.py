@@ -1,0 +1,156 @@
+"""Sim-time purity lint: no wall-clock reads inside the simulator.
+
+Everything in :mod:`repro` is supposed to run on *simulated*
+nanoseconds — op-indexed monitors, seed-driven fault onsets,
+``now_ns`` plumbed through every call.  One stray ``time.time()``
+quietly breaks the determinism the differential tests and the fail-slow
+soak's fixed-seed gates stand on, and such a call can hide for a long
+time (it still "works"; runs just stop being reproducible).
+
+This module walks the AST of every file under ``src/repro`` and fails
+on any wall-clock read:
+
+* always forbidden: ``time.time``, ``time.time_ns``,
+  ``time.monotonic``, ``time.monotonic_ns``, ``time.process_time``,
+  ``time.process_time_ns``, ``time.localtime``, ``time.gmtime``,
+  ``time.sleep``, ``datetime.now``, ``datetime.utcnow``,
+  ``datetime.today``, ``date.today``;
+* ``time.perf_counter`` / ``time.perf_counter_ns`` are allowed **only**
+  in the sanctioned *harness-timing* packages (``repro/bench`` and
+  ``repro/tools``), where CLI mains report wall-clock runtime of the
+  benchmark process itself — never simulated quantities.
+
+Both attribute access (``time.time``) and ``from``-imports
+(``from time import time``) are caught.  Run from CI::
+
+    PYTHONPATH=src python -m repro.tools.simtime_lint
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+__all__ = ["Violation", "lint_file", "lint_tree", "main"]
+
+# (module, attribute) pairs that read the wall clock (or block on it).
+FORBIDDEN = {
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("time", "monotonic"),
+    ("time", "monotonic_ns"),
+    ("time", "process_time"),
+    ("time", "process_time_ns"),
+    ("time", "localtime"),
+    ("time", "gmtime"),
+    ("time", "sleep"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+    ("datetime", "today"),
+    ("date", "today"),
+}
+
+# Wall-clock reads tolerated for harness self-timing, and only there.
+HARNESS_ONLY = {
+    ("time", "perf_counter"),
+    ("time", "perf_counter_ns"),
+}
+
+# Path prefixes (relative to the repro package root) where harness
+# timing is sanctioned: benchmark CLIs report their own wall runtime.
+HARNESS_PREFIXES = ("bench/", "tools/")
+
+
+class Violation(Tuple[str, int, str]):
+    """(relative path, line, message) — a plain tuple with a name."""
+
+    __slots__ = ()
+
+    def __new__(cls, path: str, line: int, message: str):
+        return super().__new__(cls, (path, line, message))
+
+    def __str__(self) -> str:
+        path, line, message = self
+        return f"{path}:{line}: {message}"
+
+
+def _is_harness(rel_path: str) -> bool:
+    return rel_path.startswith(HARNESS_PREFIXES)
+
+
+class _WallClockVisitor(ast.NodeVisitor):
+    def __init__(self, rel_path: str) -> None:
+        self.rel_path = rel_path
+        self.violations: List[Violation] = []
+
+    def _flag(self, node: ast.AST, module: str, name: str) -> None:
+        pair = (module, name)
+        if pair in FORBIDDEN:
+            why = "wall-clock call breaks sim-time determinism"
+        elif pair in HARNESS_ONLY and not _is_harness(self.rel_path):
+            why = "perf_counter is sanctioned only under repro/bench and repro/tools"
+        else:
+            return
+        self.violations.append(
+            Violation(self.rel_path, node.lineno, f"{module}.{name}: {why}")
+        )
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        # Matches time.time, datetime.datetime.now, d.today, ... — any
+        # attribute whose base *name* is a clock-bearing module/class.
+        base = node.value
+        if isinstance(base, ast.Attribute):  # datetime.datetime.now
+            base_name = base.attr
+        elif isinstance(base, ast.Name):
+            base_name = base.id
+        else:
+            base_name = None
+        if base_name is not None:
+            self._flag(node, base_name, node.attr)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module:
+            root = node.module.split(".")[0]
+            for alias in node.names:
+                self._flag(node, root, alias.name)
+        self.generic_visit(node)
+
+
+def lint_file(path: Path, rel_path: str) -> List[Violation]:
+    """Lint one source file; returns its violations."""
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    visitor = _WallClockVisitor(rel_path)
+    visitor.visit(tree)
+    return visitor.violations
+
+
+def lint_tree(root: Optional[Path] = None) -> List[Violation]:
+    """Lint every ``.py`` file under the repro package root."""
+    if root is None:
+        root = Path(__file__).resolve().parent.parent  # src/repro
+    violations: List[Violation] = []
+    for path in sorted(root.rglob("*.py")):
+        rel = path.relative_to(root).as_posix()
+        violations.extend(lint_file(path, rel))
+    return violations
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI: exit 1 (with a report) on any wall-clock violation."""
+    args = argv if argv is not None else sys.argv[1:]
+    root = Path(args[0]) if args else None
+    violations = lint_tree(root)
+    if violations:
+        print("sim-time purity lint: wall-clock usage found", file=sys.stderr)
+        for violation in violations:
+            print(f"  {violation}", file=sys.stderr)
+        return 1
+    print("sim-time purity lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -78,6 +78,39 @@ class TestNvmeCli:
         again = nvme.load_device(device_file)
         assert again.stats.host_pages_written == 3
 
+    def test_failslow_status_not_attached(self, device_file, capsys):
+        assert nvme.main(["failslow-status", device_file]) == 0
+        assert "not attached" in capsys.readouterr().out
+
+    def test_create_slow_die_and_status(self, tmp_path, capsys):
+        path = str(tmp_path / "slow.pkl")
+        rc = nvme.main(
+            ["create", path, "--superblocks", "64", "--slow-die", "1:8"]
+        )
+        assert rc == 0
+        assert "fail-slow overlay" in capsys.readouterr().out
+        assert nvme.main(["failslow-status", path]) == 0
+        out = capsys.readouterr().out
+        assert "fail-slow overlay   : ACTIVE" in out
+        assert "die 1" in out and "x8" in out
+        # The overlay (RNG included) survives the pickle round trip.
+        device = nvme.load_device(path)
+        assert device.failslow is not None
+        assert device.failslow.status_dict()["enabled"] is True
+
+    def test_create_sched_quiescent_overlay(self, tmp_path, capsys):
+        path = str(tmp_path / "sched.pkl")
+        nvme.main(["create", path, "--superblocks", "64", "--sched"])
+        capsys.readouterr()
+        nvme.main(["failslow-status", path])
+        assert "not attached" in capsys.readouterr().out
+
+    def test_slow_die_spec_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            nvme.main(
+                ["create", str(tmp_path / "x.pkl"), "--slow-die", "bogus"]
+            )
+
 
 class TestCachebenchCli:
     SMALL = {
