@@ -4,6 +4,8 @@ the scaled experiment builders every figure/table bench uses."""
 from .driver import CacheBench, ReplayConfig
 from .latency import LATENCY_SCALE, run_latency_soak
 from .metrics import (
+    AblationCell,
+    AblationResult,
     CrashSoakResult,
     FleetSoakResult,
     FleetWindow,
@@ -60,6 +62,15 @@ _OVERLOAD_EXPORTS = (
     "scenario_matrix",
 )
 
+# Same lazy treatment for the ablation bench: keeps
+# `python -m repro.bench.ablation` free of the runpy double-execution
+# warning.
+_ABLATION_EXPORTS = (
+    "ABLATION_SCALE",
+    "run_ablation",
+    "run_nemo_soak",
+)
+
 
 def __getattr__(name):
     if name in _FLEET_EXPORTS:
@@ -70,6 +81,10 @@ def __getattr__(name):
         from . import overload as _overload
 
         return getattr(_overload, name)
+    if name in _ABLATION_EXPORTS:
+        from . import ablation as _ablation
+
+        return getattr(_ablation, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
@@ -118,4 +133,9 @@ __all__ = [
     "make_crowd_trace",
     "run_overload_soak",
     "scenario_matrix",
+    "AblationCell",
+    "AblationResult",
+    "ABLATION_SCALE",
+    "run_ablation",
+    "run_nemo_soak",
 ]

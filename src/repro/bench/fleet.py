@@ -69,8 +69,15 @@ def default_fleet_specs(
     mix: str = "fdp",
     scale: Scale = FLEET_SCALE,
     utilization: float = 0.9,
+    seed: Optional[int] = None,
 ) -> List[ShardSpec]:
-    """Build the soak's shard specs (ids sorted, mix deterministic)."""
+    """Build the soak's shard specs (ids sorted, mix deterministic).
+
+    ``seed`` derives a distinct per-shard ``admission_seed`` so that a
+    randomized admission policy on any shard replays the same decision
+    stream run to run — and shards never share an RNG stream.  ``None``
+    leaves admission seeds unset (the historical behaviour).
+    """
     if num_shards < 2:
         raise ValueError("a fleet soak needs at least 2 shards")
     if mix not in MIXES:
@@ -87,6 +94,11 @@ def default_fleet_specs(
                 backend=backend,
                 utilization=utilization,
                 scale=scale,
+                admission_seed=(
+                    None
+                    if seed is None
+                    else point_seed(f"fleet_admission_{seed}", i)
+                ),
             )
         )
     return specs
@@ -150,7 +162,7 @@ def run_fleet_soak(
     total = num_ops or ops_per_shard * num_shards
 
     specs = default_fleet_specs(
-        num_shards, mix=mix, scale=scale, utilization=utilization
+        num_shards, mix=mix, scale=scale, utilization=utilization, seed=seed
     )
     shards = [spec.build() for spec in specs]
     fleet = FleetCache(shards, FleetConfig(ring_seed=seed))

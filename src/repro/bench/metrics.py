@@ -26,6 +26,8 @@ __all__ = [
     "FailSlowWindow",
     "FailSlowArm",
     "FailSlowSoakResult",
+    "AblationCell",
+    "AblationResult",
 ]
 
 
@@ -122,6 +124,11 @@ class RunResult:
     io_retries: int = 0
     retired_superblocks: int = 0
     available_spare_pct: float = 100.0
+    # admission metrics (defaulted for positional constructions; the
+    # policy-vs-placement ablation reads these off sweep results)
+    flash_admits: int = 0
+    flash_rejects: int = 0
+    flash_admit_ratio: float = 1.0
 
     @property
     def throughput_kops(self) -> float:
@@ -853,6 +860,144 @@ class FailSlowSoakResult:
             f"deadline_misses={on.deadline_misses})",
             f"control counters clean: "
             f"{'PASS' if self.counters_clean else 'FAIL'}  "
+            f"acceptance: {'PASS' if self.acceptance else 'FAIL'}",
+        ]
+        return "\n".join(lines)
+
+
+@dataclasses.dataclass(frozen=True)
+class AblationCell:
+    """One policy × placement × engine cell of the ablation matrix."""
+
+    policy: str
+    engine: str
+    fdp: bool
+    dlwa: float
+    steady_dlwa: float
+    miss_ratio: float
+    p99_read_us: float
+    alwa: float
+    admit_ratio: float
+    nand_pages_written: int
+    host_pages_written: int
+
+    def summary_row(self) -> str:
+        placement = "FDP" if self.fdp else "Non-FDP"
+        return (
+            f"{self.policy:<10} {self.engine:<10} {placement:<8} "
+            f"{self.dlwa:>6.3f} {self.steady_dlwa:>7.3f} "
+            f"{self.miss_ratio * 100:>6.1f} {self.p99_read_us:>9.0f} "
+            f"{self.admit_ratio * 100:>7.1f}"
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class AblationResult:
+    """Verdict of the policy-vs-placement ablation.
+
+    The matrix replays {policy} × {FDP on/off} × {engine} cells on one
+    shared ``point_seed`` trace, so within a row the only degree of
+    freedom is the axis under test.  Acceptance stresses the paper's
+    claim from both sides on the ``gate_engine`` (Kangaroo — the
+    paper's architecture) cells:
+
+    * **survival_recovers** — survival admission without FDP recovers
+      at least ``recovery_threshold`` of the DLWA gap AcceptAll/non-FDP
+      leaves above the ideal 1.0 (admission alone is *not* nothing);
+    * **composes** — survival + FDP lands at or below the better of
+      the two single levers plus ``compose_tolerance`` (the levers
+      don't fight);
+    * **nemo_soak_ok** — the Nemo engine completed the integrity
+      (chaos-fault replay + warm restart) and scheduler soak arms with
+      invariants intact (the engine seam holds for a third engine).
+
+    The miss-ratio column reports what admission *costs*: survival buys
+    its DLWA recovery with extra misses, which is exactly the trade the
+    paper's placement approach avoids.
+    """
+
+    ops: int
+    seed: int
+    gate_engine: str
+    recovery_threshold: float
+    compose_tolerance: float
+    cells: List[AblationCell]
+    nemo_soak: Dict[str, object]
+    failures: List[str]
+
+    def cell(
+        self, policy: str, engine: str, fdp: bool
+    ) -> Optional[AblationCell]:
+        for c in self.cells:
+            if c.policy == policy and c.engine == engine and c.fdp == fdp:
+                return c
+        return None
+
+    @property
+    def recovered_fraction(self) -> float:
+        """Share of the non-FDP DLWA gap survival admission closes."""
+        base = self.cell("acceptall", self.gate_engine, False)
+        surv = self.cell("survival", self.gate_engine, False)
+        if base is None or surv is None:
+            return 0.0
+        gap = base.dlwa - 1.0
+        if gap <= 0:
+            return 0.0
+        return (base.dlwa - surv.dlwa) / gap
+
+    @property
+    def survival_recovers(self) -> bool:
+        return self.recovered_fraction >= self.recovery_threshold
+
+    @property
+    def composes(self) -> bool:
+        surv = self.cell("survival", self.gate_engine, False)
+        fdp = self.cell("acceptall", self.gate_engine, True)
+        both = self.cell("survival", self.gate_engine, True)
+        if surv is None or fdp is None or both is None:
+            return False
+        return both.dlwa <= min(surv.dlwa, fdp.dlwa) + self.compose_tolerance
+
+    @property
+    def nemo_soak_ok(self) -> bool:
+        return bool(self.nemo_soak.get("ok"))
+
+    @property
+    def acceptance(self) -> bool:
+        return (
+            not self.failures
+            and self.survival_recovers
+            and self.composes
+            and self.nemo_soak_ok
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        out = dataclasses.asdict(self)
+        out["recovered_fraction"] = self.recovered_fraction
+        out["acceptance"] = self.acceptance
+        return out
+
+    def summary_table(self) -> str:
+        header = (
+            f"{'policy':<10} {'engine':<10} {'place':<8} {'DLWA':>6} "
+            f"{'steady':>7} {'miss%':>6} {'p99r(us)':>9} {'admit%':>7}"
+        )
+        lines = [
+            f"ablation ops={self.ops} seed={self.seed:#x} "
+            f"gate_engine={self.gate_engine}",
+            header,
+            *(c.summary_row() for c in self.cells),
+            *(f"FAILED: {f}" for f in self.failures),
+            f"survival recovers >= {self.recovery_threshold:.0%} of the "
+            f"non-FDP DLWA gap: "
+            f"{'PASS' if self.survival_recovers else 'FAIL'} "
+            f"(recovered {self.recovered_fraction:.0%})",
+            f"survival+FDP composes (<= best single lever "
+            f"+{self.compose_tolerance:g}): "
+            f"{'PASS' if self.composes else 'FAIL'}",
+            f"nemo integrity+scheduler soaks: "
+            f"{'PASS' if self.nemo_soak_ok else 'FAIL'} "
+            f"({self.nemo_soak})",
             f"acceptance: {'PASS' if self.acceptance else 'FAIL'}",
         ]
         return "\n".join(lines)

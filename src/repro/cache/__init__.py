@@ -8,6 +8,9 @@ from .admission import (
     DynamicRandomAdmission,
     ProbabilisticAdmission,
     SizeThresholdAdmission,
+    SurvivalAdmission,
+    SurvivalFeatures,
+    WriteBudgetAdmission,
 )
 from .bloom import BloomFilter
 from .config import CacheConfig
@@ -16,6 +19,7 @@ from .hybrid import HIT_DRAM, HIT_LOC, HIT_SOC, MISS, GetResult, HybridCache
 from .item import CacheItem
 from .kangaroo import KangarooCache
 from .loc import EVICTION_FIFO, EVICTION_LRU, LargeObjectCache, Region
+from .nemo import NemoCache
 from .soc import SmallObjectCache
 
 __all__ = [
@@ -24,6 +28,10 @@ __all__ = [
     "ProbabilisticAdmission",
     "DynamicRandomAdmission",
     "SizeThresholdAdmission",
+    "SurvivalAdmission",
+    "SurvivalFeatures",
+    "WriteBudgetAdmission",
+    "NemoCache",
     "BloomFilter",
     "CacheConfig",
     "CacheItem",

@@ -58,12 +58,20 @@ class CacheConfig:
     # seed the policy was constructed with.
     admission_seed: Optional[int] = None
     dram_op_ns: int = 2_000
-    # Small-object engine selection: CacheLib's set-associative SOC or
+    # Small-object engine selection: CacheLib's set-associative SOC,
     # the Kangaroo-style log-plus-sets extension (see
-    # repro.cache.kangaroo for the rationale).
+    # repro.cache.kangaroo), or the Nemo-style log-structured store
+    # with a set-associative DRAM index (see repro.cache.nemo).
     soc_engine: str = "set-associative"
     kangaroo_log_fraction: float = 0.05
     kangaroo_move_threshold: int = 2
+    # Nemo engine knobs: reclaim granularity (pages per FIFO region),
+    # index associativity (ways per set), and the cap on reinsertion
+    # write amplification (fraction of a reclaimed region's bytes that
+    # hot items may re-consume; 0 = pure FIFO drop-all).
+    nemo_region_pages: int = 8
+    nemo_index_ways: int = 8
+    nemo_reinsert_fraction: float = 0.25
     # Device-layer retry budgets against injected media errors (see
     # repro.faults): reads retry a few times (UECCs are often
     # transient), writes resubmit once (the FTL's in-device program
@@ -97,12 +105,18 @@ class CacheConfig:
             raise ValueError("metadata_pages must be non-negative")
         if self.metadata_flush_interval <= 0:
             raise ValueError("metadata_flush_interval must be positive")
-        if self.soc_engine not in ("set-associative", "kangaroo"):
+        if self.soc_engine not in ("set-associative", "kangaroo", "nemo"):
             raise ValueError(f"unknown soc_engine {self.soc_engine!r}")
         if not 0.0 < self.kangaroo_log_fraction < 1.0:
             raise ValueError("kangaroo_log_fraction must be in (0, 1)")
         if self.kangaroo_move_threshold < 1:
             raise ValueError("kangaroo_move_threshold must be >= 1")
+        if self.nemo_region_pages < 1:
+            raise ValueError("nemo_region_pages must be >= 1")
+        if self.nemo_index_ways < 1:
+            raise ValueError("nemo_index_ways must be >= 1")
+        if not 0.0 <= self.nemo_reinsert_fraction <= 1.0:
+            raise ValueError("nemo_reinsert_fraction must be in [0, 1]")
         if self.io_read_retries < 0 or self.io_write_retries < 0:
             raise ValueError("io retry budgets must be non-negative")
         if self.io_retry_backoff_ns < 0:

@@ -141,7 +141,20 @@ class HybridCache:
         self._loc_name = loc_name
 
         self.dram = DramCache(config.dram_bytes)
-        if config.soc_engine == "kangaroo":
+        if config.soc_engine == "nemo":
+            from .nemo import NemoCache
+
+            self.soc: "SmallObjectCache | NemoCache" = NemoCache(
+                io,
+                self.policy.handle_for(soc_name),
+                soc_base,
+                max(2, soc_pages),
+                region_pages=config.nemo_region_pages,
+                index_ways=config.nemo_index_ways,
+                reinsert_fraction=config.nemo_reinsert_fraction,
+                persist_metadata=config.persist_engine_metadata,
+            )
+        elif config.soc_engine == "kangaroo":
             from .kangaroo import KangarooCache
 
             log_pages = max(
@@ -177,6 +190,15 @@ class HybridCache:
         )
         self._meta_base = meta_base
         self._meta_counter = 0
+
+        assert config.admission is not None
+        config.admission.attach_device(self.device)
+        # Feature-collecting policies (SurvivalAdmission) get the
+        # GET/SET observation stream; for everyone else the observer is
+        # None and the hot path pays a single identity check per op.
+        self._admission_observer = (
+            config.admission if config.admission.collects_features else None
+        )
 
         self.gets = 0
         self.sets = 0
@@ -282,6 +304,9 @@ class HybridCache:
         it to the foreground GET latency.
         """
         done = now_ns
+        if self._admission_observer is not None:
+            # A promotion starts a fresh DRAM residency for the item.
+            self._admission_observer.observe_insert(item.key, item.size)
         for evicted in self.dram.set(item):
             if evicted.key != item.key:
                 done = self._admit_to_flash(evicted, done)
@@ -306,6 +331,8 @@ class HybridCache:
         :class:`GetResult` allocation.
         """
         self.gets += 1
+        if self._admission_observer is not None:
+            self._admission_observer.observe_access(key)
         item = self.dram.get(key)
         if item is not None:
             self.hits_by_layer[HIT_DRAM] += 1
@@ -327,6 +354,8 @@ class HybridCache:
         """Insert/overwrite an object; returns completion time."""
         self.sets += 1
         self.app_set_bytes += size
+        if self._admission_observer is not None:
+            self._admission_observer.observe_insert(key, size)
         item = CacheItem(key, size)
         # A mutation supersedes any flash copy; the clean-copy shortcut
         # in _admit_to_flash must not suppress the eventual rewrite.
@@ -456,6 +485,7 @@ class HybridCache:
             "app_set_bytes": self.app_set_bytes,
             "brownout_mode": self.brownout_mode,
             "shed_loc_admissions": self.shed_loc_admissions,
+            "admission": self._admission_stats(),
             "soc": {
                 "engine": self.config.soc_engine,
                 "items": self.soc.item_count,
@@ -517,6 +547,20 @@ class HybridCache:
                 ),
             },
         }
+
+    def _admission_stats(self) -> dict:
+        """Admission-policy snapshot for dashboards and the nvme tool."""
+        policy = self.config.admission
+        out = {
+            "policy": type(policy).__name__,
+            "offered": policy.offered,
+            "admitted": policy.admitted,
+            "admit_ratio": policy.admit_ratio,
+        }
+        extra = getattr(policy, "stats_dict", None)
+        if extra is not None:
+            out.update(extra())
+        return out
 
     @property
     def read_errors(self) -> int:

@@ -85,6 +85,12 @@ class ShardSpec:
     faults: Optional["FaultConfig"] = None
     sched: bool = True
     failslow: Optional["FailSlowConfig"] = None
+    #: Seed threaded into the cache's ``AdmissionPolicy.reseed`` at
+    #: build time (the same contract ``run_experiment`` honours).
+    #: ``None`` keeps whatever seed the policy was constructed with —
+    #: fine for the deterministic default policy, but any randomized
+    #: admission needs this set for fleet runs to replay.
+    admission_seed: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -120,6 +126,7 @@ class ShardSpec:
             faults=self.faults,
             sched=True if self.sched else None,
             failslow=self.failslow,
+            admission_seed=self.admission_seed,
         )
         return CacheShard(self.shard_id, _HybridBackend(cache), self)
 

@@ -237,4 +237,7 @@ class KernelBench:
             io_retries=cache.io.read_retries + cache.io.write_retries,
             retired_superblocks=health.retired_superblocks,
             available_spare_pct=health.available_spare_pct,
+            flash_admits=cache.flash_admits,
+            flash_rejects=cache.flash_rejects,
+            flash_admit_ratio=cache.config.admission.admit_ratio,
         )

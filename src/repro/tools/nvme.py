@@ -159,6 +159,10 @@ def _cmd_smart(args: argparse.Namespace) -> int:
     print(f"superblocks erased  : {s.superblocks_erased}")
     print(f"pages deallocated   : {s.pages_deallocated}")
     print(f"DLWA                : {s.dlwa:.4f}")
+    # Byte-level ledger: what write-aware admission
+    # (repro.cache.admission.WriteBudgetAdmission) meters against.
+    print(f"host bytes written  : {s.host_pages_written * device.page_size}")
+    print(f"nand bytes written  : {s.nand_pages_written * device.page_size}")
     print(f"max erase count     : {max(erases)}")
     print(f"mean erase count    : {sum(erases) / len(erases):.2f}")
     print(f"free superblocks    : {device.ftl.free_superblocks}")

@@ -1,5 +1,7 @@
 """Unit tests for flash admission policies."""
 
+import pickle
+
 import pytest
 
 from repro.cache import (
@@ -8,6 +10,9 @@ from repro.cache import (
     DynamicRandomAdmission,
     ProbabilisticAdmission,
     SizeThresholdAdmission,
+    SurvivalAdmission,
+    SurvivalFeatures,
+    WriteBudgetAdmission,
 )
 
 
@@ -152,3 +157,250 @@ class TestReseedContract:
         r1, r2 = arm(), arm()
         assert dataclasses.asdict(r1) == dataclasses.asdict(r2)
         assert r1.hit_ratio > 0
+
+
+class FakeSmartDevice:
+    """Device stub exposing the SMART counters WriteBudgetAdmission reads."""
+
+    class _Stats:
+        def __init__(self, host, nand):
+            self.host_pages_written = host
+            self.nand_pages_written = nand
+
+    def __init__(self, host_pages_written, nand_pages_written):
+        self.stats = self._Stats(host_pages_written, nand_pages_written)
+
+
+class TestSurvivalAdmission:
+    def survival(self, **kw):
+        kw.setdefault("warmup_offers", 4)
+        kw.setdefault("label_horizon", 64)
+        kw.setdefault("max_ghosts", 32)
+        kw.setdefault("seed", 7)
+        return SurvivalAdmission(**kw)
+
+    def test_warmup_admits_everything(self):
+        policy = self.survival(warmup_offers=10)
+        assert all(policy.admit(CacheItem(k, 100)) for k in range(10))
+        assert policy.warmup_admits == 10
+
+    def test_reaccess_within_horizon_trains_positive(self):
+        policy = self.survival()
+        policy.observe_insert(1, 100)
+        policy.admit(CacheItem(1, 100))  # offered -> ghost
+        policy.observe_access(1)  # re-requested: deserved flash
+        assert policy.trained_positive == 1
+        assert policy.trained_negative == 0
+
+    def test_ghost_expiry_trains_negative(self):
+        policy = self.survival(label_horizon=4)
+        policy.admit(CacheItem(1, 100))
+        for k in range(2, 12):  # age the ghost past the horizon
+            policy.observe_insert(k, 100)
+            policy.admit(CacheItem(k, 100))
+        assert policy.trained_negative >= 1
+
+    def test_learns_to_separate_hot_from_cold(self):
+        """Small re-accessed objects earn positive labels, large
+        one-shot objects negative ones; the trained model must rank a
+        hot-profile residency above a cold-profile one."""
+        policy = self.survival(label_horizon=32)
+        cold_key = 10_000
+        for round_ in range(400):
+            hot = round_ % 8  # small working set, re-accessed
+            policy.observe_insert(hot, 64)
+            policy.observe_access(hot)
+            policy.admit(CacheItem(hot, 64))
+            policy.observe_access(hot)  # ghost hit -> positive label
+            cold_key += 1  # unique, never seen again
+            policy.observe_insert(cold_key, 8192)
+            policy.admit(CacheItem(cold_key, 8192))
+        assert policy.trained_positive > 0
+        assert policy.trained_negative > 0
+        feats = policy.features
+        hot_feats = feats.extract(64, hits=4, age_ops=16, since_access_ops=1)
+        cold_feats = feats.extract(8192, hits=0, age_ops=16, since_access_ops=16)
+        assert policy._score(hot_feats) > policy._score(cold_feats)
+
+    def test_zero_threshold_admits_all_but_still_trains(self):
+        policy = self.survival(threshold=0.0, warmup_offers=0)
+        for k in range(50):
+            policy.observe_insert(k, 100)
+            assert policy.admit(CacheItem(k, 100))
+            policy.observe_access(k)
+        assert policy.admit_ratio == 1.0
+        assert policy.trained_positive > 0
+
+    def test_resident_tracking_is_bounded(self):
+        policy = self.survival(max_tracked=16)
+        for k in range(100):
+            policy.observe_insert(k, 100)
+        assert policy.stats_dict()["tracked"] <= 16
+
+    def test_ghost_list_is_bounded(self):
+        policy = self.survival(max_ghosts=8, label_horizon=10_000)
+        for k in range(100):
+            policy.admit(CacheItem(k, 100))
+        assert policy.stats_dict()["ghosts"] <= 8
+
+    def test_feature_seam_is_swappable(self):
+        class OneFeature(SurvivalFeatures):
+            width = 1
+            names = ("log2_size",)
+
+            def extract(self, size, hits, age_ops, since_access_ops):
+                return (min(size, 4096) / 4096.0,)
+
+        policy = self.survival(features=OneFeature())
+        assert len(policy.weights) == 1
+        policy.admit(CacheItem(1, 100))  # must not raise
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SurvivalAdmission(threshold=1.5)
+        with pytest.raises(ValueError):
+            SurvivalAdmission(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            SurvivalAdmission(label_horizon=0)
+        with pytest.raises(ValueError):
+            SurvivalAdmission(explore_fraction=-0.1)
+
+
+class TestWriteBudget:
+    def test_rejects_once_credit_exhausted(self):
+        policy = WriteBudgetAdmission(100, burst_ops=20)
+        # Each admit costs stored_size (~1024+24) against ~100/op accrual.
+        decisions = [policy.admit(CacheItem(k, 1024)) for k in range(20)]
+        assert decisions[0]  # burst credit covers the first admit
+        assert not all(decisions)
+        assert policy.budget_rejects > 0
+        assert policy.charged_nand_bytes > 0
+
+    def test_credit_accrues_back(self):
+        policy = WriteBudgetAdmission(100, burst_ops=2)
+        for k in range(10):
+            policy.admit(CacheItem(k, 1024))
+        # Cheap offers accrue credit faster than they spend it.
+        tail = [policy.admit(CacheItem(100 + k, 8)) for k in range(50)]
+        assert any(tail)
+
+    def test_dlwa_prices_the_charge(self):
+        cheap = WriteBudgetAdmission(5000, burst_ops=1)
+        dear = WriteBudgetAdmission(5000, burst_ops=1)
+        cheap.attach_device(FakeSmartDevice(100, 100))  # DLWA 1.0
+        dear.attach_device(FakeSmartDevice(100, 400))  # DLWA 4.0
+        assert cheap._current_dlwa() == 1.0
+        assert dear._current_dlwa() == 4.0
+        cheap.admit(CacheItem(1, 900))
+        dear.admit(CacheItem(1, 900))
+        assert dear.charged_nand_bytes == pytest.approx(
+            4.0 * cheap.charged_nand_bytes
+        )
+
+    def test_unattached_device_prices_at_unity(self):
+        policy = WriteBudgetAdmission(1000)
+        assert policy._current_dlwa() == 1.0
+        policy.attach_device(FakeSmartDevice(0, 0))
+        assert policy._current_dlwa() == 1.0  # no host writes yet
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WriteBudgetAdmission(0)
+        with pytest.raises(ValueError):
+            WriteBudgetAdmission(100, burst_ops=0)
+
+
+# ---------------------------------------------------------------------------
+# Property tests: invariants every admission policy must satisfy.
+# ---------------------------------------------------------------------------
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+
+def make_policy(name, seed=7):
+    """Construct each policy family with small, test-friendly knobs."""
+    return {
+        "acceptall": lambda: AcceptAll(),
+        "threshold": lambda: SizeThresholdAdmission(1024),
+        "probabilistic": lambda: ProbabilisticAdmission(0.5, seed=seed),
+        "dynamic": lambda: DynamicRandomAdmission(
+            500, adjust_interval=16, seed=seed
+        ),
+        "survival": lambda: SurvivalAdmission(
+            warmup_offers=4,
+            label_horizon=64,
+            max_ghosts=32,
+            explore_fraction=0.2,
+            seed=seed,
+        ),
+        "writebudget": lambda: WriteBudgetAdmission(512, burst_ops=4),
+    }[name]()
+
+
+ALL_POLICIES = (
+    "acceptall",
+    "threshold",
+    "probabilistic",
+    "dynamic",
+    "survival",
+    "writebudget",
+)
+
+offers_strategy = st.lists(
+    st.tuples(st.integers(0, 40), st.integers(1, 8192)), max_size=120
+)
+
+
+class TestAdmissionProperties:
+    @pytest.mark.parametrize("name", ALL_POLICIES)
+    @given(offers=offers_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_counters_and_ratio_bounds(self, name, offers):
+        policy = make_policy(name)
+        for key, size in offers:
+            policy.observe_insert(key, size)
+            policy.admit(CacheItem(key, size))
+        assert 0 <= policy.admitted <= policy.offered == len(offers)
+        assert 0.0 <= policy.admit_ratio <= 1.0
+        if not offers:
+            # No offers -> vacuous full acceptance, never a ZeroDivision.
+            assert policy.admit_ratio == 1.0
+
+    @pytest.mark.parametrize("name", ALL_POLICIES)
+    @given(offers=offers_strategy, seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_reseed_pins_decision_stream(self, name, offers, seed):
+        """Two instances built with different construction seeds replay
+        identical decisions once reseeded alike — the bench contract
+        that lets ``point_seed`` pin a whole sweep cell."""
+
+        def stream(construction_seed):
+            policy = make_policy(name, seed=construction_seed)
+            policy.reseed(seed)
+            decisions = []
+            for key, size in offers:
+                policy.observe_insert(key, size)
+                policy.observe_access(key)
+                decisions.append(policy.admit(CacheItem(key, size)))
+            return decisions
+
+        assert stream(111) == stream(222)
+
+    @pytest.mark.parametrize("name", ALL_POLICIES)
+    @given(offers=offers_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_pickle_round_trip(self, name, offers):
+        """Policies ride inside SweepPoint kwargs, so they must pickle
+        mid-stream and keep deciding identically afterwards."""
+        policy = make_policy(name)
+        for key, size in offers:
+            policy.observe_insert(key, size)
+            policy.admit(CacheItem(key, size))
+        clone = pickle.loads(pickle.dumps(policy))
+        assert clone.offered == policy.offered
+        assert clone.admitted == policy.admitted
+        future = [CacheItem(1000 + k, 256) for k in range(32)]
+        assert [clone.admit(i) for i in future] == [
+            policy.admit(i) for i in future
+        ]

@@ -1,0 +1,88 @@
+"""Differential harness: survival admission's observation hooks are a
+pure host-side overlay.
+
+``SurvivalAdmission(threshold=0)`` admits every offer (sigmoid output is
+always above zero), so its *decision stream* equals :class:`AcceptAll`'s
+— while its observation hooks, ghost list, and online training all run.
+Replaying the same seeded trace against two caches that differ only in
+that policy must therefore leave the two backing devices **bit-identical**
+on every observable surface (the same ``assert_identical`` contract the
+batched-vs-scalar and scheduler-overlay arms use).  Any divergence means
+feature collection leaked into device state — the invariant the ablation
+bench's "admission is host-side policy, placement is device-side
+mechanism" comparison rests on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import Scale, build_experiment, make_trace
+from repro.bench.parallel import point_seed
+from repro.bench.driver import CacheBench, ReplayConfig
+from repro.cache import AcceptAll, SurvivalAdmission
+from tests.test_differential_batch import assert_identical
+
+SCALE = Scale(num_superblocks=48, num_ops=10_000)
+
+
+def replay_arm(admission, *, fdp, engine, seed, utilization=0.9):
+    cache = build_experiment(
+        fdp=fdp,
+        utilization=utilization,
+        scale=SCALE,
+        cache_overrides={"admission": admission, "soc_engine": engine},
+        admission_seed=seed,
+    )
+    trace = make_trace("kvcache", SCALE.num_ops, seed=seed, scale=SCALE)
+    result = CacheBench(ReplayConfig()).run(cache, trace, name="arm")
+    return cache, result
+
+
+@pytest.mark.parametrize("fdp", [False, True])
+@pytest.mark.parametrize("engine", ["kangaroo", "nemo"])
+def test_zero_threshold_survival_is_bit_identical_to_acceptall(fdp, engine):
+    seed = point_seed("differential_admission", 0)
+    baseline_cache, baseline = replay_arm(
+        AcceptAll(), fdp=fdp, engine=engine, seed=seed
+    )
+    survival = SurvivalAdmission(threshold=0.0)
+    survival_cache, overlay = replay_arm(
+        survival, fdp=fdp, engine=engine, seed=seed
+    )
+
+    # Decision streams matched op for op...
+    assert overlay.flash_admits == baseline.flash_admits
+    assert overlay.flash_rejects == baseline.flash_rejects == 0
+    assert overlay.flash_admit_ratio == 1.0
+    # ...so every device surface must too: mappings, OOB, journal,
+    # stats/DLWA, events, latency clocks, energy, health.
+    assert_identical(baseline_cache.device, survival_cache.device)
+    # Same host-visible metrics as well.
+    assert overlay.hit_ratio == baseline.hit_ratio
+    assert overlay.dlwa == baseline.dlwa
+    assert overlay.p99_read_us == baseline.p99_read_us
+
+    # The overlay genuinely ran: residency features flowed and the
+    # model trained, host-side only.
+    stats = survival.stats_dict()
+    assert stats["offered"] > 0
+    assert stats["trained_positive"] + stats["trained_negative"] > 0
+    assert stats["tracked"] > 0 or stats["ghosts"] > 0
+
+
+def test_nonzero_threshold_diverges():
+    """Control arm: with a real threshold the decision streams differ,
+    proving the bit-identity above is earned rather than vacuous."""
+    seed = point_seed("differential_admission", 1)
+    _, baseline = replay_arm(
+        AcceptAll(), fdp=False, engine="kangaroo", seed=seed
+    )
+    _, gated = replay_arm(
+        SurvivalAdmission(label_horizon=4096, max_ghosts=1024),
+        fdp=False,
+        engine="kangaroo",
+        seed=seed,
+    )
+    assert gated.flash_rejects > 0
+    assert gated.flash_admits < baseline.flash_admits

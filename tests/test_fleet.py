@@ -486,3 +486,47 @@ def test_partitioned_replay_matches_serial():
     ring = ConsistentHashRouter([s.shard_id for s in specs])
     hist = ring.ownership_histogram(trace.keys)
     assert {s.shard_id: s.ops for s in serial} == hist
+
+
+class TestAdmissionSeedThreading:
+    """Regression: ``ShardSpec.build()`` used to drop the admission
+    seed on the floor — a randomized admission policy on a fleet shard
+    silently kept its class-default RNG, so two same-seed fleet runs
+    could replay different admission streams."""
+
+    def test_spec_threads_admission_seed_into_cache_config(self):
+        spec = ShardSpec("s00", scale=TINY, admission_seed=0xABCD)
+        shard = spec.build()
+        assert shard.backend.cache.config.admission_seed == 0xABCD
+
+    def test_spec_default_leaves_seed_unset(self):
+        shard = ShardSpec("s00", scale=TINY).build()
+        assert shard.backend.cache.config.admission_seed is None
+
+    def test_default_fleet_specs_derive_distinct_per_shard_seeds(self):
+        from repro.bench.fleet import default_fleet_specs
+
+        specs = default_fleet_specs(4, scale=TINY, seed=99)
+        seeds = [s.admission_seed for s in specs]
+        assert all(s is not None for s in seeds)
+        assert len(set(seeds)) == len(seeds)  # no shared RNG streams
+        # Deterministic: same soak seed -> same per-shard seeds.
+        again = default_fleet_specs(4, scale=TINY, seed=99)
+        assert [s.admission_seed for s in again] == seeds
+        # And a different soak seed moves every stream.
+        other = default_fleet_specs(4, scale=TINY, seed=100)
+        assert all(a != b for a, b in zip(seeds,
+                                          (s.admission_seed for s in other)))
+
+    def test_default_fleet_specs_without_seed_keep_none(self):
+        from repro.bench.fleet import default_fleet_specs
+
+        specs = default_fleet_specs(3, scale=TINY)
+        assert all(s.admission_seed is None for s in specs)
+
+    def test_spec_with_admission_seed_pickles(self):
+        import pickle
+
+        spec = ShardSpec("s01", scale=TINY, admission_seed=42)
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec

@@ -33,6 +33,8 @@ from repro.bench import (
     run_integrity_soak,
     run_latency_soak,
 )
+from repro.bench.ablation import POLICIES, SMOKE_OPS, SMOKE_SCALE
+from repro.bench.parallel import point_seed
 
 GOLDEN_DIR = Path(__file__).parent / "golden"
 
@@ -93,6 +95,52 @@ def _check_golden(name: str, data: dict, update_golden: bool) -> None:
 @pytest.mark.parametrize("name", sorted(CONFIGS))
 def test_golden_run_result(name: str, update_golden: bool) -> None:
     _check_golden(name, dataclasses.asdict(run_config(name)), update_golden)
+
+
+@pytest.mark.parametrize("policy", sorted(POLICIES))
+def test_golden_ablation_row(policy: str, update_golden: bool) -> None:
+    """One ablation-matrix row per admission policy, replayed with the
+    exact kwargs the smoke matrix uses (same ``point_seed``, same
+    scale, kangaroo + non-FDP — the cell where admission does the
+    work).  Pins the learned policy's whole decision stream: any drift
+    in feature extraction, training order, or ghost-list bookkeeping
+    shows up as a DLWA/hit-ratio diff here."""
+    result = run_experiment(
+        "kvcache",
+        fdp=False,
+        utilization=0.9,
+        scale=SMOKE_SCALE,
+        num_ops=SMOKE_OPS,
+        seed=point_seed("ablation", 0),
+        cache_overrides={
+            "admission": POLICIES[policy](),
+            "soc_engine": "kangaroo",
+        },
+        name=f"{policy} kangaroo Non-FDP",
+    )
+    _check_golden(
+        f"ablation_{policy}_kangaroo_nonfdp",
+        dataclasses.asdict(result),
+        update_golden,
+    )
+
+
+def test_golden_nemo_replay(update_golden: bool) -> None:
+    """End-to-end Nemo-engine replay fixture: index-guided lookups,
+    FIFO region reclaim, and reinsertion WA all feed the pinned
+    counters."""
+    result = run_experiment(
+        "kvcache",
+        fdp=True,
+        utilization=0.9,
+        scale=_SCALE,
+        seed=20260805,
+        cache_overrides={"soc_engine": "nemo"},
+        name="nemo_fdp_util90",
+    )
+    _check_golden(
+        "nemo_fdp_util90", dataclasses.asdict(result), update_golden
+    )
 
 
 def test_golden_latency_soak(update_golden: bool) -> None:
